@@ -1,0 +1,294 @@
+package multival
+
+// One benchmark per experiment of the reproduction (see DESIGN.md §3 and
+// EXPERIMENTS.md). Each benchmark runs the same flow as cmd/experiments,
+// so `go test -bench=.` regenerates every reported quantity; printed
+// tables come from `go run ./cmd/experiments`.
+
+import (
+	"fmt"
+	"testing"
+
+	"multival/internal/bisim"
+	"multival/internal/chp"
+	"multival/internal/compose"
+	"multival/internal/fame"
+	"multival/internal/faust"
+	"multival/internal/imc"
+	"multival/internal/lts"
+	"multival/internal/markov"
+	"multival/internal/mcl"
+	"multival/internal/phasetype"
+	"multival/internal/xstream"
+)
+
+// BenchmarkE1XStreamIssues: detect both injected xSTream protocol bugs.
+func BenchmarkE1XStreamIssues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		leak, err := xstream.FunctionalModel(xstream.Config{
+			Capacity: 3, Values: 2, Variant: xstream.CreditLeak, WithFlush: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mcl.MustCheck(leak, mcl.DeadlockFree()) {
+			b.Fatal("credit leak not detected")
+		}
+		opt, err := xstream.FunctionalModel(xstream.Config{
+			Capacity: 3, Values: 2, Variant: xstream.OptimisticPush,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mcl.MustCheck(opt, mcl.NeverEnabled(mcl.Action("overflow"))) {
+			b.Fatal("overflow not detected")
+		}
+	}
+}
+
+// BenchmarkE2FaustRouter: generate and verify the 3-port router.
+func BenchmarkE2FaustRouter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := faust.RouterLTS(faust.RouterConfig{Ports: 3}, chp.Options{}, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !mcl.MustCheck(l, mcl.DeadlockFree()) {
+			b.Fatal("router deadlocked")
+		}
+		for _, bad := range faust.MisroutedLabels(3) {
+			if !mcl.MustCheck(l, mcl.NeverEnabled(mcl.Action(bad))) {
+				b.Fatal("misrouting")
+			}
+		}
+	}
+}
+
+// BenchmarkE3IsochronousFork: check all three fork variants against the
+// specification.
+func BenchmarkE3IsochronousFork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, err := faust.ForkSpec(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []faust.ForkVariant{faust.ForkWaitBoth, faust.ForkIsochronic, faust.ForkUnsafe} {
+			impl, err := faust.ForkImpl(2, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eq := bisim.Equivalent(spec, impl, bisim.Branching)
+			if eq != (v != faust.ForkUnsafe) {
+				b.Fatalf("%v: unexpected verdict %v", v, eq)
+			}
+		}
+	}
+}
+
+// BenchmarkE4MPILatency: the full 12-row FAME2 prediction sweep.
+func BenchmarkE4MPILatency(b *testing.B) {
+	base := fame.Workload{Nodes: 16, A: 0, B: 5, Chunks: 8, Scratch: 4, Rounds: 3}
+	tm := fame.Timing{TBase: 50, THop: 20, ErlangK: 3}
+	for i := 0; i < b.N; i++ {
+		rows, err := fame.Sweep(base, nil, nil, nil, tm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("%d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkE5XStreamPerf: occupancy/throughput/latency across the load
+// sweep.
+func BenchmarkE5XStreamPerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, capacity := range []int{4, 8, 16} {
+			for _, rho := range []float64{0.3, 0.6, 0.9, 1.2, 1.5} {
+				if _, err := xstream.Evaluate(xstream.PerfConfig{
+					Capacity: capacity, ArrivalRate: rho * 2, ServiceRate: 2,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE6FixedDelay: the Erlang space-accuracy sweep.
+func BenchmarkE6FixedDelay(b *testing.B) {
+	work := lts.New("work")
+	work.AddStates(3)
+	work.AddTransition(0, "work_s", 1)
+	work.AddTransition(1, "work_e", 2)
+	work.AddTransition(2, "done", 0)
+	work.SetInitial(0)
+	for i := 0; i < b.N; i++ {
+		for _, k := range []int{1, 4, 16, 64} {
+			dist, err := phasetype.FitFixedDelay(0.5, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := imc.Decorate(work, []imc.Delay{{Start: "work_s", End: "work_e", Dist: dist}}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := m.ToCTMC(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.SteadyState(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE7Nondeterminism: scheduler enumeration for throughput bounds.
+func BenchmarkE7Nondeterminism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := imc.New("nd-server")
+		idle := m.AddState()
+		choice := m.AddState()
+		fast := m.AddState()
+		slow := m.AddState()
+		fdone := m.AddState()
+		sdone := m.AddState()
+		m.MustAddRate(idle, choice, 1)
+		m.AddInteractive(choice, lts.Tau, fast)
+		m.AddInteractive(choice, lts.Tau, slow)
+		m.MustAddRate(fast, fdone, 4)
+		m.MustAddRate(slow, sdone, 0.5)
+		m.AddInteractive(fdone, "served", idle)
+		m.AddInteractive(sdone, "served", idle)
+		m.Inter.SetInitial(idle)
+		lo, hi, err := m.ThroughputBounds("served", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !(lo < hi) {
+			b.Fatal("no spread")
+		}
+	}
+}
+
+// BenchmarkE8Compositional: smart reduction vs monolithic on a 5-stage
+// pipeline.
+func BenchmarkE8Compositional(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := xstream.PipelineNetwork(5, 1, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, monoRep, err := compose.Monolithic(net, bisim.Branching)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, smartRep, err := compose.SmartReduce(net, bisim.Branching)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if smartRep.PeakStates >= monoRep.PeakStates {
+			b.Fatal("no compositional gain")
+		}
+	}
+}
+
+// BenchmarkE9LumpingAblation: compose-then-minimize vs minimize-during.
+func BenchmarkE9LumpingAblation(b *testing.B) {
+	gate := func(i int) string { return fmt.Sprintf("h%d", i) }
+	arrival := func() *imc.IMC {
+		m := imc.New("arrival")
+		a0, a1 := m.AddState(), m.AddState()
+		m.MustAddRate(a0, a1, 1)
+		m.AddInteractive(a1, gate(1), a0)
+		m.Inter.SetInitial(a0)
+		return m
+	}
+	stage := func(i int) *imc.IMC {
+		m := imc.New("stage")
+		empty, busy, ready := m.AddState(), m.AddState(), m.AddState()
+		m.AddInteractive(empty, gate(i), busy)
+		m.MustAddRate(busy, ready, 2)
+		m.AddInteractive(ready, gate(i+1), empty)
+		m.Inter.SetInitial(empty)
+		return m
+	}
+	for i := 0; i < b.N; i++ {
+		const n = 4
+		cur := arrival()
+		for s := 1; s <= n; s++ {
+			next, err := imc.Compose(cur, stage(s), []string{gate(s)}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur = next.Hide(gate(s)).Minimize()
+		}
+		res, err := cur.MaximalProgress().ToCTMC(imc.UniformScheduler{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- micro-benchmarks of the core machinery ----
+
+func BenchmarkMinimizeBranching(b *testing.B) {
+	net, err := xstream.PipelineNetwork(4, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prod, err := net.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.Minimize(prod, bisim.Branching)
+	}
+}
+
+func BenchmarkModelCheckRouter(b *testing.B) {
+	l, err := faust.RouterLTS(faust.RouterConfig{Ports: 3}, chp.Options{}, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := mcl.DeadlockFree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !mcl.MustCheck(l, f) {
+			b.Fatal("deadlock")
+		}
+	}
+}
+
+func BenchmarkSteadyStateLargeChain(b *testing.B) {
+	const n = 2000
+	c := markov.NewCTMC(n)
+	for i := 0; i < n-1; i++ {
+		c.MustAdd(i, i+1, 1.5, "")
+		c.MustAdd(i+1, i, 2.0, "")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyState(markov.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateSpaceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l, err := xstream.FunctionalModel(xstream.Config{
+			Capacity: 4, Values: 2, Variant: xstream.Correct, WithFlush: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = l
+	}
+}

@@ -1,0 +1,80 @@
+// Command evaluate model-checks a modal mu-calculus formula on an LTS,
+// playing the role of CADP's EVALUATOR. Exit status 0 means the formula
+// holds in the initial state, 1 means it does not, 2 means error.
+//
+// Usage:
+//
+//	evaluate -f 'nu X . (<true> true and [true] X)' model.aut
+//	evaluate -deadlock model.aut
+//	evaluate -reachable 'push !1' model.aut
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multival/internal/aut"
+	"multival/internal/mcl"
+)
+
+func main() {
+	var (
+		formula   = flag.String("f", "", "mu-calculus formula")
+		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
+		reachable = flag.String("reachable", "", "check that a transition with this exact label is reachable")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: evaluate (-f FORMULA | -deadlock | -reachable LABEL) model.aut")
+		os.Exit(2)
+	}
+	var f mcl.Formula
+	switch {
+	case *deadlock:
+		f = mcl.DeadlockFree()
+	case *reachable != "":
+		f = mcl.ReachableAction(mcl.Action(*reachable))
+	case *formula != "":
+		var err error
+		f, err = mcl.Parse(*formula)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "evaluate: no property given")
+		os.Exit(2)
+	}
+
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(2)
+	}
+	defer file.Close()
+	l, err := aut.Read(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(2)
+	}
+
+	res, err := mcl.Verify(l, f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(2)
+	}
+	verdict := "FALSE"
+	if res.Holds {
+		verdict = "TRUE"
+	}
+	fmt.Printf("%s\nformula:    %s\nsatisfied:  %d / %d states\n",
+		verdict, res.Formula, res.SatCount, res.NumStates)
+	if len(res.Witness) > 0 {
+		fmt.Printf("witness:    %s\n", strings.Join(res.Witness, " . "))
+	}
+	if !res.Holds {
+		os.Exit(1)
+	}
+}

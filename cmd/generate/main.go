@@ -1,0 +1,114 @@
+// Command generate compiles a model into a labeled transition system in
+// Aldebaran (.aut) format, playing the role of CADP's CAESAR generator.
+//
+// Usage:
+//
+//	generate -lotos spec.lotos            # LOTOS-like DSL file
+//	generate -model xstream -capacity 3   # built-in case-study models
+//	generate -model faust-router -ports 3
+//	generate -model fame-coherence -nodes 3 -protocol MESI
+//
+// The LTS is written to stdout (or -o file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"multival/internal/aut"
+	"multival/internal/chp"
+	"multival/internal/fame"
+	"multival/internal/faust"
+	"multival/internal/lotos"
+	"multival/internal/lts"
+	"multival/internal/process"
+	"multival/internal/xstream"
+)
+
+func main() {
+	var (
+		lotosFile = flag.String("lotos", "", "LOTOS-like specification file")
+		model     = flag.String("model", "", "built-in model: xstream | xstream-buggy | faust-router | faust-fork | fame-coherence")
+		out       = flag.String("o", "", "output file (default stdout)")
+		maxStates = flag.Int("max-states", 1<<20, "state-space bound")
+		capacity  = flag.Int("capacity", 3, "xstream queue capacity")
+		values    = flag.Int("values", 2, "number of data values")
+		ports     = flag.Int("ports", 3, "faust router ports (2..5)")
+		nodes     = flag.Int("nodes", 3, "fame node count")
+		protocol  = flag.String("protocol", "MSI", "fame coherence protocol: MSI | MESI")
+		handshake = flag.Bool("handshake", false, "expand channels into req/ack handshakes (faust-router)")
+	)
+	flag.Parse()
+
+	l, err := build(*lotosFile, *model, buildOptions{
+		maxStates: *maxStates, capacity: *capacity, values: *values,
+		ports: *ports, nodes: *nodes, protocol: *protocol, handshake: *handshake,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "generate:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "generate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := aut.Write(w, l); err != nil {
+		fmt.Fprintln(os.Stderr, "generate:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s\n", l)
+}
+
+type buildOptions struct {
+	maxStates, capacity, values, ports, nodes int
+	protocol                                  string
+	handshake                                 bool
+}
+
+func build(lotosFile, model string, o buildOptions) (*lts.LTS, error) {
+	switch {
+	case lotosFile != "":
+		src, err := os.ReadFile(lotosFile)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := lotos.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return sys.Generate(process.GenOptions{MaxStates: o.maxStates})
+
+	case model == "xstream":
+		return xstream.FunctionalModel(xstream.Config{
+			Capacity: o.capacity, Values: o.values, Variant: xstream.Correct, WithFlush: true,
+		})
+	case model == "xstream-buggy":
+		return xstream.FunctionalModel(xstream.Config{
+			Capacity: o.capacity, Values: o.values, Variant: xstream.CreditLeak, WithFlush: true,
+		})
+	case model == "faust-router":
+		return faust.RouterLTS(faust.RouterConfig{Ports: o.ports},
+			chp.Options{HandshakeExpand: o.handshake}, o.maxStates)
+	case model == "faust-fork":
+		return faust.ForkSpec(o.values)
+	case model == "fame-coherence":
+		p := fame.MSI
+		if o.protocol == "MESI" {
+			p = fame.MESI
+		}
+		return fame.CoherenceLTS(o.nodes, p)
+	case model == "":
+		return nil, fmt.Errorf("one of -lotos or -model is required")
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

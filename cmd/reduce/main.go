@@ -1,0 +1,84 @@
+// Command reduce minimizes an LTS modulo a behavioural equivalence,
+// playing the role of CADP's BCG_MIN.
+//
+// Usage:
+//
+//	reduce -rel branching [-hide gate1,gate2] in.aut > out.aut
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multival/internal/aut"
+	"multival/internal/bisim"
+)
+
+func main() {
+	var (
+		rel  = flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
+		hide = flag.String("hide", "", "comma-separated gates to hide before reducing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: reduce [-rel R] [-hide g1,g2] in.aut")
+		os.Exit(2)
+	}
+	relation, err := parseRelation(*rel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduce:", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduce:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	l, err := aut.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduce:", err)
+		os.Exit(1)
+	}
+	if *hide != "" {
+		gates := map[string]bool{}
+		for _, g := range strings.Split(*hide, ",") {
+			gates[strings.TrimSpace(g)] = true
+		}
+		l = l.Hide(func(label string) bool {
+			return gates[gateOf(label)]
+		})
+	}
+	before := l.Stats()
+	q, _ := bisim.Minimize(l, relation)
+	if err := aut.Write(os.Stdout, q); err != nil {
+		fmt.Fprintln(os.Stderr, "reduce:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "reduce(%s): %d states, %d transitions -> %d states, %d transitions\n",
+		relation, before.States, before.Transitions, q.NumStates(), q.NumTransitions())
+}
+
+func parseRelation(s string) (bisim.Relation, error) {
+	switch s {
+	case "strong":
+		return bisim.Strong, nil
+	case "branching":
+		return bisim.Branching, nil
+	case "divbranching":
+		return bisim.DivBranching, nil
+	case "trace":
+		return bisim.Trace, nil
+	default:
+		return 0, fmt.Errorf("unknown relation %q", s)
+	}
+}
+
+func gateOf(label string) string {
+	if i := strings.IndexByte(label, ' '); i >= 0 {
+		return label[:i]
+	}
+	return label
+}

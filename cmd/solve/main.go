@@ -1,0 +1,141 @@
+// Command solve runs the performance-evaluation flow on an LTS: delays
+// are attached to labels as exponential rates, the resulting Interactive
+// Markov Chain is lumped and transformed into a CTMC, and steady-state
+// measures (state probabilities and action throughputs) are printed —
+// playing the role of CADP's BCG_STEADY.
+//
+// Usage:
+//
+//	solve -rate 'push=1.5' -rate 'pop=2' [-marker pop] model.aut
+//
+// Labels are matched per gate: every label of the gate gets the rate.
+// Gates named by -marker keep a visible completion event so their
+// throughput is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"multival/internal/aut"
+	"multival/internal/imc"
+	"multival/internal/lts"
+)
+
+type rateFlags []string
+
+func (r *rateFlags) String() string     { return strings.Join(*r, ",") }
+func (r *rateFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var rates rateFlags
+	flag.Var(&rates, "rate", "gate=rate (repeatable)")
+	markers := flag.String("marker", "", "comma-separated gates whose throughput to report")
+	uniform := flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
+	flag.Parse()
+	if flag.NArg() != 1 || len(rates) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: solve -rate gate=RATE [...] [-marker g1,g2] model.aut")
+		os.Exit(2)
+	}
+
+	file, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer file.Close()
+	l, err := aut.Read(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	markerSet := map[string]bool{}
+	if *markers != "" {
+		for _, g := range strings.Split(*markers, ",") {
+			markerSet[strings.TrimSpace(g)] = true
+		}
+	}
+
+	m := imc.FromLTS(l)
+	for _, spec := range rates {
+		gate, rateStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -rate %q (want gate=rate)", spec))
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad rate in %q: %v", spec, err))
+		}
+		for _, label := range labelsOfGate(l, gate) {
+			if markerSet[gate] {
+				m, err = m.ReplaceLabelByRateWithMarker(label, rate, label)
+			} else {
+				m, err = m.ReplaceLabelByRate(label, rate)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	lumped, _ := m.Lump()
+	fmt.Printf("IMC: %v -> lumped %v\n", m.Stats(), lumped.Stats())
+
+	var sched imc.Scheduler
+	if *uniform {
+		sched = imc.UniformScheduler{}
+	}
+	res, err := lumped.MaximalProgress().ToCTMC(sched)
+	if err != nil {
+		fatal(err)
+	}
+	pi, err := res.SteadyState()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("CTMC: %d states\n", res.Chain.NumStates())
+	fmt.Println("steady-state probabilities:")
+	for i, p := range pi {
+		if p > 1e-12 {
+			fmt.Printf("  state %4d (imc %4d): %.6f\n", i, res.StateOf[i], p)
+		}
+	}
+	labels := res.Labels()
+	if len(labels) > 0 {
+		fmt.Println("throughputs:")
+		for _, lab := range labels {
+			fmt.Printf("  %-20s %.6f /time-unit\n", lab, res.ThroughputOf(pi, lab))
+		}
+	}
+}
+
+func labelsOfGate(l *lts.LTS, gate string) []string {
+	set := map[string]bool{}
+	l.EachTransition(func(t lts.Transition) {
+		lab := l.LabelName(t.Label)
+		if gateOf(lab) == gate {
+			set[lab] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for lab := range set {
+		out = append(out, lab)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func gateOf(label string) string {
+	if i := strings.IndexByte(label, ' '); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "solve:", err)
+	os.Exit(1)
+}

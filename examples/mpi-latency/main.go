@@ -1,0 +1,56 @@
+// MPI latency example: the FAME2 performance exploration (paper §4) —
+// predict the latency of an MPI ping-pong benchmark across interconnect
+// topologies, MPI implementations, and cache-coherency protocols.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multival/internal/fame"
+)
+
+func main() {
+	base := fame.Workload{
+		Nodes:   16,
+		A:       0,
+		B:       5,
+		Chunks:  8, // message payload in cache lines
+		Scratch: 4, // private working set touched before each send
+		Rounds:  3, // warm up to steady state
+	}
+	tm := fame.Timing{TBase: 50, THop: 20, ErlangK: 3}
+
+	fmt.Printf("MPI ping-pong, %d nodes, %d-line payload, timing base=%g hop=%g\n\n",
+		base.Nodes, base.Chunks, tm.TBase, tm.THop)
+	fmt.Println("topology  mpi-mode    protocol  messages  latency")
+	rows, err := fame.Sweep(base, nil, nil, nil, tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-9s %-11s %-9s %8d %8.1f\n",
+			r.Topology, r.Workload.Mode, r.Workload.Protocol, r.Messages, r.Latency)
+	}
+
+	// How does message size shift the eager/rendezvous trade-off?
+	fmt.Println("\nlatency vs payload (ring, MESI):")
+	fmt.Println("chunks  eager    rendezvous  rendezvous-overhead")
+	for _, chunks := range []int{1, 2, 4, 8, 16, 32} {
+		w := base
+		w.Chunks = chunks
+		w.Protocol = fame.MESI
+		w.Mode = fame.Eager
+		e, err := fame.PredictLatency(w, fame.Ring, tm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Mode = fame.Rendezvous
+		r, err := fame.PredictLatency(w, fame.Ring, tm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %7.1f  %10.1f  %17.1f%%\n",
+			chunks, e.Latency, r.Latency, 100*(r.Latency-e.Latency)/e.Latency)
+	}
+}

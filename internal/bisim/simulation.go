@@ -1,0 +1,83 @@
+package bisim
+
+import (
+	"multival/internal/lts"
+)
+
+// Simulates reports whether the initial state of spec simulates the
+// initial state of impl (strong simulation preorder): every transition of
+// impl can be matched by spec, recursively. Simulation is coarser than
+// strong bisimulation and finer than trace inclusion; it is the natural
+// check for "the implementation only does what the specification
+// allows". Computed by greatest-fixpoint refinement of the full relation.
+func Simulates(spec, impl *lts.LTS) bool {
+	if impl.NumStates() == 0 {
+		return true
+	}
+	if spec.NumStates() == 0 {
+		return impl.NumTransitions() == 0
+	}
+	// rel[i][s] = "spec state s simulates impl state i" (candidate).
+	ni, ns := impl.NumStates(), spec.NumStates()
+	rel := make([][]bool, ni)
+	for i := range rel {
+		rel[i] = make([]bool, ns)
+		for s := range rel[i] {
+			rel[i][s] = true
+		}
+	}
+	// Refine: drop (i,s) when some move of i has no matching move of s
+	// into the relation.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < ni; i++ {
+			for s := 0; s < ns; s++ {
+				if !rel[i][s] {
+					continue
+				}
+				if !simStep(impl, spec, lts.State(i), lts.State(s), rel) {
+					rel[i][s] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return rel[impl.Initial()][spec.Initial()]
+}
+
+// simStep checks one refinement condition: every outgoing transition of
+// impl state i is matched by some equally-labeled transition of spec
+// state s whose target pair is still in the candidate relation.
+func simStep(impl, spec *lts.LTS, i, s lts.State, rel [][]bool) bool {
+	ok := true
+	impl.EachOutgoing(i, func(t lts.Transition) {
+		if !ok {
+			return
+		}
+		label := impl.LabelName(t.Label)
+		id := spec.LookupLabel(label)
+		if id < 0 {
+			ok = false
+			return
+		}
+		matched := false
+		spec.EachOutgoing(s, func(u lts.Transition) {
+			if matched || u.Label != id {
+				return
+			}
+			if rel[t.Dst][u.Dst] {
+				matched = true
+			}
+		})
+		if !matched {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// SimulationEquivalent reports mutual simulation (coarser than strong
+// bisimulation, finer than trace equivalence).
+func SimulationEquivalent(a, b *lts.LTS) bool {
+	return Simulates(a, b) && Simulates(b, a)
+}

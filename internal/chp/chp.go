@@ -1,0 +1,486 @@
+// Package chp implements a front-end for CHP (Communicating Hardware
+// Processes), the language used at CEA/Leti to describe asynchronous
+// circuits such as the FAUST network-on-chip router. Following the
+// Multival flow, CHP programs are translated into the LOTOS-like process
+// calculus of package process (Salaün & Serwe, IFM 2005), from which the
+// LTS is generated.
+//
+// A CHP process is a sequential program over integer variables with
+// channel communications (send C!e, receive C?x), sequential composition,
+// guarded selection, and unbounded repetition. Each process is compiled
+// into a recursive process definition whose parameters thread the values
+// of the mutable variables; parallel composition synchronizes processes on
+// their shared channels.
+//
+// The translation optionally expands every channel communication into an
+// explicit request/acknowledge handshake (C_req / C_ack gate pairs),
+// modeling the asynchronous-circuit implementation of the channel and
+// enabling experiments about handshake protocols such as isochronous
+// forks.
+package chp
+
+import (
+	"fmt"
+	"sort"
+
+	"multival/internal/process"
+)
+
+// VarDecl declares a mutable process variable with a finite integer
+// domain; communication receives into it and assignments update it.
+type VarDecl struct {
+	Name   string
+	Init   int
+	Lo, Hi int
+}
+
+// Stmt is a CHP statement.
+type Stmt interface{ isStmt() }
+
+type (
+	// Skip does nothing.
+	Skip struct{}
+
+	// Send is the communication C!e.
+	Send struct {
+		Ch string
+		E  process.Expr
+	}
+
+	// Recv is the communication C?x; x must be a declared variable.
+	Recv struct {
+		Ch  string
+		Var string
+	}
+
+	// SendRecv is the bidirectional communication C!e?x (the client side
+	// of a request/response channel); e is sent in the first offer
+	// position and the reply bound to x from the second.
+	SendRecv struct {
+		Ch  string
+		E   process.Expr
+		Var string
+	}
+
+	// RecvSend is the server side of a request/response channel C?x!e:
+	// the request is bound to x from the first offer position and e is
+	// emitted in the second. Because e may depend on x, it is evaluated
+	// with the fresh binding in scope.
+	RecvSend struct {
+		Ch  string
+		Var string
+		E   process.Expr
+	}
+
+	// Assign is x := e.
+	Assign struct {
+		Var string
+		E   process.Expr
+	}
+
+	// Seq is sequential composition s1; s2; ...
+	Seq []Stmt
+
+	// Sel is guarded selection [g1 -> s1 [] g2 -> s2 [] ...]. A branch
+	// whose guard is nil is always enabled. Communication guards (probe
+	// semantics) are expressed by starting the branch body with the
+	// communication itself.
+	Sel struct {
+		Branches []Branch
+	}
+
+	// Loop is unbounded repetition *[ body ].
+	Loop struct {
+		Body Stmt
+	}
+)
+
+// Branch is one alternative of a selection.
+type Branch struct {
+	Guard process.Expr // nil means true
+	Body  Stmt
+}
+
+func (Skip) isStmt()     {}
+func (Send) isStmt()     {}
+func (Recv) isStmt()     {}
+func (SendRecv) isStmt() {}
+func (RecvSend) isStmt() {}
+func (Assign) isStmt()   {}
+func (Seq) isStmt()      {}
+func (Sel) isStmt()      {}
+func (Loop) isStmt()     {}
+
+// Process is a named CHP process: declarations plus a body (typically a
+// single outer Loop).
+type Process struct {
+	Name string
+	Vars []VarDecl
+	Body Stmt
+}
+
+// Options configures the translation.
+type Options struct {
+	// HandshakeExpand replaces each communication on a channel by an
+	// explicit two-gate request/acknowledge handshake: the data moves on
+	// <ch>_req and the acknowledgment on <ch>_ack.
+	HandshakeExpand bool
+	// RecvDomain gives the value domain used when receiving on a
+	// channel; by default the receiving variable's declared domain is
+	// used. Keys are channel names.
+	RecvDomain map[string][2]int
+}
+
+// translator compiles one CHP process into process-calculus definitions.
+type translator struct {
+	proc   *Process
+	opts   Options
+	sys    *process.System
+	vars   map[string]VarDecl
+	nextID int
+}
+
+// Translate compiles a set of CHP processes into a single process.System
+// whose root runs them in parallel, synchronized on shared channels
+// (channels used by two or more processes). Internal channels can then be
+// hidden by the caller on the generated LTS, or via process.HideIn on the
+// root.
+func Translate(procs []*Process, opts Options) (*process.System, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("chp: no processes")
+	}
+	sys := process.NewSystem("chp")
+
+	var roots []process.Behavior
+	var chanLists [][]string
+	for _, p := range procs {
+		tr := &translator{proc: p, opts: opts, sys: sys, vars: map[string]VarDecl{}}
+		for _, v := range p.Vars {
+			if _, dup := tr.vars[v.Name]; dup {
+				return nil, fmt.Errorf("chp: %s: duplicate variable %s", p.Name, v.Name)
+			}
+			tr.vars[v.Name] = v
+		}
+		root, err := tr.compileProcess()
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, root)
+		chanLists = append(chanLists, channelsOf(p.Body))
+	}
+
+	// Compose left to right; each composition synchronizes on the gates
+	// shared between the group so far and the next process.
+	comp := roots[0]
+	seen := map[string]bool{}
+	for _, c := range chanLists[0] {
+		seen[c] = true
+	}
+	for i := 1; i < len(roots); i++ {
+		var shared []string
+		for _, c := range chanLists[i] {
+			if seen[c] {
+				shared = append(shared, c)
+			}
+		}
+		sort.Strings(shared)
+		comp = process.SyncPar(expandGates(shared, opts), comp, roots[i])
+		for _, c := range chanLists[i] {
+			seen[c] = true
+		}
+	}
+	sys.SetRoot(comp)
+	return sys, nil
+}
+
+// SharedChannels returns the channels used by at least two of the given
+// processes (candidates for hiding after composition).
+func SharedChannels(procs []*Process) []string {
+	usage := map[string]int{}
+	for _, p := range procs {
+		for _, c := range channelsOf(p.Body) {
+			usage[c]++
+		}
+	}
+	var out []string
+	for c, n := range usage {
+		if n >= 2 {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GateNames returns the LTS gate names a channel compiles to under opts
+// (either the channel itself, or its req/ack pair).
+func GateNames(ch string, opts Options) []string {
+	if opts.HandshakeExpand {
+		return []string{ch + "_req", ch + "_ack"}
+	}
+	return []string{ch}
+}
+
+func expandGates(chs []string, opts Options) []string {
+	var out []string
+	for _, c := range chs {
+		out = append(out, GateNames(c, opts)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (tr *translator) fresh(prefix string) string {
+	tr.nextID++
+	return fmt.Sprintf("%s_%s%d", prefix, "v", tr.nextID)
+}
+
+// env maps CHP variables to the expressions currently denoting them.
+type env map[string]process.Expr
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// compileProcess builds the recursive definition for the process loop and
+// returns the instantiation call.
+func (tr *translator) compileProcess() (process.Behavior, error) {
+	names := make([]string, 0, len(tr.proc.Vars))
+	inits := make([]process.Expr, 0, len(tr.proc.Vars))
+	for _, v := range tr.proc.Vars {
+		names = append(names, v.Name)
+		inits = append(inits, process.Int(v.Init))
+	}
+	defName := "CHP_" + tr.proc.Name
+
+	initialEnv := env{}
+	for _, v := range tr.proc.Vars {
+		initialEnv[v.Name] = process.V(v.Name)
+	}
+
+	// The process body runs once; a trailing Loop compiles into its own
+	// recursive definition. A body that terminates stays quiescent
+	// (stop), as a finished circuit process would.
+	body, err := tr.compile(tr.proc.Body, initialEnv, func(e env) process.Behavior {
+		return process.Stop{}
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.sys.Define(defName, names, body)
+	return process.Call{Proc: defName, Args: inits}, nil
+}
+
+// compile translates stmt under environment e; cont builds the
+// continuation behaviour from the environment after the statement.
+func (tr *translator) compile(stmt Stmt, e env, cont func(env) process.Behavior) (process.Behavior, error) {
+	switch s := stmt.(type) {
+	case Skip:
+		return cont(e), nil
+
+	case Assign:
+		if _, ok := tr.vars[s.Var]; !ok {
+			return nil, fmt.Errorf("chp: %s: assignment to undeclared variable %s", tr.proc.Name, s.Var)
+		}
+		ne := e.clone()
+		ne[s.Var] = substEnv(s.E, e)
+		return cont(ne), nil
+
+	case Send:
+		val := substEnv(s.E, e)
+		k := cont(e)
+		if tr.opts.HandshakeExpand {
+			return process.Act(s.Ch+"_req", []process.Offer{process.Send(val)},
+				process.Do(s.Ch+"_ack", k)), nil
+		}
+		return process.Act(s.Ch, []process.Offer{process.Send(val)}, k), nil
+
+	case Recv:
+		decl, ok := tr.vars[s.Var]
+		if !ok {
+			return nil, fmt.Errorf("chp: %s: receive into undeclared variable %s", tr.proc.Name, s.Var)
+		}
+		lo, hi := decl.Lo, decl.Hi
+		if d, ok := tr.opts.RecvDomain[s.Ch]; ok {
+			lo, hi = d[0], d[1]
+		}
+		tmp := tr.fresh(s.Var)
+		ne := e.clone()
+		ne[s.Var] = process.V(tmp)
+		k := cont(ne)
+		if tr.opts.HandshakeExpand {
+			return process.Act(s.Ch+"_req", []process.Offer{process.Recv(tmp, lo, hi)},
+				process.Do(s.Ch+"_ack", k)), nil
+		}
+		return process.Act(s.Ch, []process.Offer{process.Recv(tmp, lo, hi)}, k), nil
+
+	case SendRecv:
+		decl, ok := tr.vars[s.Var]
+		if !ok {
+			return nil, fmt.Errorf("chp: %s: receive into undeclared variable %s", tr.proc.Name, s.Var)
+		}
+		val := substEnv(s.E, e)
+		tmp := tr.fresh(s.Var)
+		ne := e.clone()
+		ne[s.Var] = process.V(tmp)
+		k := cont(ne)
+		offers := []process.Offer{process.Send(val), process.Recv(tmp, decl.Lo, decl.Hi)}
+		if tr.opts.HandshakeExpand {
+			return process.Act(s.Ch+"_req", offers, process.Do(s.Ch+"_ack", k)), nil
+		}
+		return process.Act(s.Ch, offers, k), nil
+
+	case RecvSend:
+		decl, ok := tr.vars[s.Var]
+		if !ok {
+			return nil, fmt.Errorf("chp: %s: receive into undeclared variable %s", tr.proc.Name, s.Var)
+		}
+		tmp := tr.fresh(s.Var)
+		ne := e.clone()
+		ne[s.Var] = process.V(tmp)
+		// The emission may use the just-received request value.
+		val := substEnv(s.E, ne)
+		k := cont(ne)
+		offers := []process.Offer{process.Recv(tmp, decl.Lo, decl.Hi), process.Send(val)}
+		if tr.opts.HandshakeExpand {
+			return process.Act(s.Ch+"_req", offers, process.Do(s.Ch+"_ack", k)), nil
+		}
+		return process.Act(s.Ch, offers, k), nil
+
+	case Seq:
+		if len(s) == 0 {
+			return cont(e), nil
+		}
+		rest := Seq(s[1:])
+		var restErr error
+		b, err := tr.compile(s[0], e, func(ne env) process.Behavior {
+			rb, err := tr.compile(rest, ne, cont)
+			if err != nil {
+				restErr = err
+				return process.Stop{}
+			}
+			return rb
+		})
+		if err != nil {
+			return nil, err
+		}
+		if restErr != nil {
+			return nil, restErr
+		}
+		return b, nil
+
+	case Sel:
+		if len(s.Branches) == 0 {
+			return process.Stop{}, nil
+		}
+		var alts []process.Behavior
+		for _, br := range s.Branches {
+			b, err := tr.compile(br.Body, e, cont)
+			if err != nil {
+				return nil, err
+			}
+			if br.Guard != nil {
+				b = process.Guard{Cond: substEnv(br.Guard, e), B: b}
+			}
+			alts = append(alts, b)
+		}
+		return process.Alt(alts...), nil
+
+	case Loop:
+		// A loop re-enters the enclosing process definition with the
+		// current variable values; statements after the loop are
+		// unreachable, as in CHP.
+		names := make([]string, 0, len(tr.proc.Vars))
+		for _, v := range tr.proc.Vars {
+			names = append(names, v.Name)
+		}
+		defName := "CHP_" + tr.proc.Name + "_loop" + fmt.Sprint(tr.nextID)
+		tr.nextID++
+
+		loopEnv := env{}
+		for _, n := range names {
+			loopEnv[n] = process.V(n)
+		}
+		body, err := tr.compile(s.Body, loopEnv, func(ne env) process.Behavior {
+			args := make([]process.Expr, len(names))
+			for i, n := range names {
+				args[i] = ne[n]
+			}
+			return process.Call{Proc: defName, Args: args}
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr.sys.Define(defName, names, body)
+		args := make([]process.Expr, len(names))
+		for i, n := range names {
+			args[i] = e[n]
+		}
+		return process.Call{Proc: defName, Args: args}, nil
+
+	default:
+		return nil, fmt.Errorf("chp: unknown statement %T", stmt)
+	}
+}
+
+// substEnv rewrites variable references through the environment. Because
+// env values are themselves expressions over the enclosing definition's
+// parameters, a single pass suffices.
+func substEnv(ex process.Expr, e env) process.Expr {
+	switch x := ex.(type) {
+	case process.VarRef:
+		if repl, ok := e[x.Name]; ok {
+			return repl
+		}
+		return x
+	case process.Binary:
+		return process.Binary{Op: x.Op, A: substEnv(x.A, e), B: substEnv(x.B, e)}
+	case process.NotE:
+		return process.NotE{X: substEnv(x.X, e)}
+	case process.Neg:
+		return process.Neg{X: substEnv(x.X, e)}
+	case process.IfE:
+		return process.IfE{C: substEnv(x.C, e), A: substEnv(x.A, e), B: substEnv(x.B, e)}
+	default:
+		return ex
+	}
+}
+
+// channelsOf collects the channels used by a statement, sorted.
+func channelsOf(stmt Stmt) []string {
+	set := map[string]bool{}
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch x := s.(type) {
+		case Send:
+			set[x.Ch] = true
+		case Recv:
+			set[x.Ch] = true
+		case SendRecv:
+			set[x.Ch] = true
+		case RecvSend:
+			set[x.Ch] = true
+		case Seq:
+			for _, st := range x {
+				walk(st)
+			}
+		case Sel:
+			for _, br := range x.Branches {
+				walk(br.Body)
+			}
+		case Loop:
+			walk(x.Body)
+		}
+	}
+	walk(stmt)
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,280 @@
+// Package compose implements networks of communicating LTSs and the
+// compositional verification strategy of the Multival project: components
+// are composed pairwise, internal labels are hidden as soon as no further
+// synchronization needs them, and every intermediate product is minimized
+// modulo branching bisimulation ("smart reduction", the role played by
+// EXP.OPEN and SVL scripts in CADP).
+package compose
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"multival/internal/bisim"
+	"multival/internal/lts"
+)
+
+// Network is a parallel composition of component LTSs with multiway,
+// gate-based synchronization, following LOTOS semantics: a label such as
+// "c !1" belongs to gate "c" (its first space-separated token). For every
+// gate in Sync, all components whose alphabet uses that gate must take a
+// transition with the identical full label simultaneously (this realizes
+// value negotiation); all other labels (and tau) interleave. Gates in Hide
+// have all their labels replaced by tau in the product.
+type Network struct {
+	Components []*lts.LTS
+	Sync       []string // gate names
+	Hide       []string // gate names
+	// MaxStates bounds product generation (0 = DefaultMaxStates).
+	MaxStates int
+}
+
+// GateOf returns the gate of a transition label: the prefix before the
+// first space ("c !1" -> "c", "done" -> "done").
+func GateOf(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == ' ' {
+			return label[:i]
+		}
+	}
+	return label
+}
+
+// DefaultMaxStates bounds product generation when MaxStates is zero.
+const DefaultMaxStates = 1 << 20
+
+// ExplosionError reports that the product exceeded the state bound.
+type ExplosionError struct{ Bound int }
+
+func (e *ExplosionError) Error() string {
+	return fmt.Sprintf("compose: product exceeds %d states", e.Bound)
+}
+
+// Generate builds the product LTS of the network (monolithically).
+func (n *Network) Generate() (*lts.LTS, error) {
+	if len(n.Components) == 0 {
+		return nil, fmt.Errorf("compose: empty network")
+	}
+	bound := n.MaxStates
+	if bound == 0 {
+		bound = DefaultMaxStates
+	}
+	syncSet := toSet(n.Sync)
+	hideSet := toSet(n.Hide)
+
+	k := len(n.Components)
+	// gates[i] = set of gates used by component i; labels[g] = sorted
+	// labels observed anywhere for gate g.
+	gates := make([]map[string]bool, k)
+	gateLabels := map[string]map[string]bool{}
+	for i, c := range n.Components {
+		gates[i] = map[string]bool{}
+		c.EachTransition(func(t lts.Transition) {
+			lab := c.LabelName(t.Label)
+			g := GateOf(lab)
+			gates[i][g] = true
+			if syncSet[g] {
+				if gateLabels[g] == nil {
+					gateLabels[g] = map[string]bool{}
+				}
+				gateLabels[g][lab] = true
+			}
+		})
+	}
+	// syncEntries: one entry per (label of a synchronized gate), with
+	// the participants of the whole gate, in sorted order for
+	// deterministic state numbering.
+	type syncEntry struct {
+		lab   string
+		parts []int
+	}
+	var syncEntries []syncEntry
+	for _, g := range n.sortedSyncLabels() {
+		var parts []int
+		for i := range n.Components {
+			if gates[i][g] {
+				parts = append(parts, i)
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		labs := make([]string, 0, len(gateLabels[g]))
+		for lab := range gateLabels[g] {
+			labs = append(labs, lab)
+		}
+		sort.Strings(labs)
+		for _, lab := range labs {
+			syncEntries = append(syncEntries, syncEntry{lab, parts})
+		}
+	}
+
+	out := lts.New("product")
+	type tuple []lts.State
+	encode := func(tp tuple) string {
+		buf := make([]byte, 4*len(tp))
+		for i, s := range tp {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
+		}
+		return string(buf)
+	}
+	index := map[string]lts.State{}
+	var tuples []tuple
+
+	intern := func(tp tuple) (lts.State, error) {
+		key := encode(tp)
+		if s, ok := index[key]; ok {
+			return s, nil
+		}
+		if len(tuples) >= bound {
+			return 0, &ExplosionError{bound}
+		}
+		s := out.AddState()
+		index[key] = s
+		tuples = append(tuples, tp)
+		return s, nil
+	}
+
+	init := make(tuple, k)
+	for i, c := range n.Components {
+		if c.NumStates() == 0 {
+			return nil, fmt.Errorf("compose: component %d is empty", i)
+		}
+		init[i] = c.Initial()
+	}
+	if _, err := intern(init); err != nil {
+		return nil, err
+	}
+	out.SetInitial(0)
+
+	emit := func(src lts.State, label string, dst tuple) error {
+		if label != lts.Tau && hideSet[GateOf(label)] {
+			label = lts.Tau
+		}
+		d, err := intern(dst)
+		if err != nil {
+			return err
+		}
+		out.AddTransition(src, label, d)
+		return nil
+	}
+
+	for qi := 0; qi < len(tuples); qi++ {
+		src := lts.State(qi)
+		tp := tuples[qi]
+
+		// Interleaved moves (tau and non-sync labels).
+		for i, c := range n.Components {
+			var ierr error
+			c.EachOutgoing(tp[i], func(t lts.Transition) {
+				if ierr != nil {
+					return
+				}
+				lab := c.LabelName(t.Label)
+				if lab != lts.Tau && syncSet[GateOf(lab)] {
+					return
+				}
+				nt := append(tuple(nil), tp...)
+				nt[i] = t.Dst
+				ierr = emit(src, lab, nt)
+			})
+			if ierr != nil {
+				return nil, ierr
+			}
+		}
+
+		// Synchronized moves, per sync label with all participants
+		// simultaneously enabled.
+		for _, se := range syncEntries {
+			lab, parts := se.lab, se.parts
+			options := make([][]lts.State, len(parts))
+			enabled := true
+			for pi, i := range parts {
+				c := n.Components[i]
+				id := c.LookupLabel(lab)
+				var dsts []lts.State
+				if id >= 0 {
+					c.EachOutgoing(tp[i], func(t lts.Transition) {
+						if t.Label == id {
+							dsts = append(dsts, t.Dst)
+						}
+					})
+				}
+				if len(dsts) == 0 {
+					enabled = false
+					break
+				}
+				options[pi] = dsts
+			}
+			if !enabled {
+				continue
+			}
+			// Cartesian product of participant destinations.
+			idxs := make([]int, len(parts))
+			for {
+				nt := append(tuple(nil), tp...)
+				for pi, i := range parts {
+					nt[i] = options[pi][idxs[pi]]
+				}
+				if err := emit(src, lab, nt); err != nil {
+					return nil, err
+				}
+				// Advance odometer.
+				p := len(idxs) - 1
+				for p >= 0 {
+					idxs[p]++
+					if idxs[p] < len(options[p]) {
+						break
+					}
+					idxs[p] = 0
+					p--
+				}
+				if p < 0 {
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// sortedSyncLabels returns the deduplicated sync labels in sorted order so
+// product generation is deterministic.
+func (n *Network) sortedSyncLabels() []string {
+	out := append([]string(nil), n.Sync...)
+	sort.Strings(out)
+	w := 0
+	for i, lab := range out {
+		if i == 0 || lab != out[i-1] {
+			out[w] = lab
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+// Pair composes exactly two LTSs synchronizing on the given labels,
+// hiding nothing. Convenience for tests and incremental composition.
+func Pair(a, b *lts.LTS, sync []string, maxStates int) (*lts.LTS, error) {
+	n := &Network{Components: []*lts.LTS{a, b}, Sync: sync, MaxStates: maxStates}
+	return n.Generate()
+}
+
+// Minimize is a convenience wrapper: generate the product and minimize it.
+func (n *Network) Minimize(rel bisim.Relation) (*lts.LTS, error) {
+	p, err := n.Generate()
+	if err != nil {
+		return nil, err
+	}
+	q, _ := bisim.Minimize(p, rel)
+	return q, nil
+}

@@ -1,0 +1,302 @@
+// Package fame models the Bull FAME2 CC-NUMA multiprocessor as studied in
+// the Multival project: a directory-based cache-coherency protocol (MSI or
+// MESI), interconnect topologies (ring, 2D mesh, crossbar), and an MPI
+// software layer running a ping-pong benchmark. The functional side
+// verifies the coherence protocol (single-writer invariant, experiment
+// alongside E2); the performance side predicts the MPI benchmark latency
+// across topologies, MPI implementations, and coherency protocols — the
+// paper's headline performance result (experiment E4).
+package fame
+
+import (
+	"fmt"
+
+	"multival/internal/lts"
+)
+
+// Protocol selects the cache-coherency protocol.
+type Protocol int
+
+const (
+	// MSI is the three-state protocol: Modified, Shared, Invalid.
+	MSI Protocol = iota
+	// MESI adds the Exclusive state, enabling silent upgrades of
+	// private data (no bus transaction on write after an exclusive
+	// read).
+	MESI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == MESI {
+		return "MESI"
+	}
+	return "MSI"
+}
+
+// LineState is the per-node state of a cache line.
+type LineState int8
+
+// Cache line states.
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive // MESI only
+	Modified
+)
+
+// String renders the state letter.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// MsgType enumerates coherence protocol messages.
+type MsgType int8
+
+// Protocol message types.
+const (
+	ReadReq MsgType = iota
+	Fetch
+	WritebackData
+	DataReply
+	WriteReq
+	Invalidate
+	InvAck
+	GrantM
+)
+
+var msgNames = [...]string{
+	ReadReq: "ReadReq", Fetch: "Fetch", WritebackData: "WbData",
+	DataReply: "Data", WriteReq: "WriteReq", Invalidate: "Inv",
+	InvAck: "InvAck", GrantM: "GrantM",
+}
+
+// String names the message type.
+func (t MsgType) String() string { return msgNames[t] }
+
+// Message is one protocol message on the interconnect.
+type Message struct {
+	Type     MsgType
+	Src, Dst int // node indices; the directory lives at the line's home
+}
+
+// Line is the directory state of a single cache line: its home node and
+// the per-node cache states.
+type Line struct {
+	Home     int
+	Protocol Protocol
+	States   []LineState
+	// SkipLastInvalidate injects a protocol bug: on a write, the
+	// directory "forgets" to invalidate the highest-numbered sharer
+	// (as if its presence bit were dropped). Used to demonstrate that
+	// the verification flow catches coherence violations.
+	SkipLastInvalidate bool
+}
+
+// NewLine creates a line homed at the given node, Invalid everywhere.
+func NewLine(home, nodes int, p Protocol) (*Line, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("fame: need at least one node")
+	}
+	if home < 0 || home >= nodes {
+		return nil, fmt.Errorf("fame: home %d out of range", home)
+	}
+	return &Line{Home: home, Protocol: p, States: make([]LineState, nodes)}, nil
+}
+
+// Invariant checks the single-writer / no-stale-sharer property: at most
+// one node in M or E, and if one exists, every other node is Invalid.
+func (l *Line) Invariant() error {
+	ownerCount := 0
+	nonInvalid := 0
+	for _, s := range l.States {
+		if s == Modified || s == Exclusive {
+			ownerCount++
+		}
+		if s != Invalid {
+			nonInvalid++
+		}
+	}
+	if ownerCount > 1 {
+		return fmt.Errorf("fame: %d exclusive owners", ownerCount)
+	}
+	if ownerCount == 1 && nonInvalid > 1 {
+		return fmt.Errorf("fame: exclusive owner coexists with sharers")
+	}
+	return nil
+}
+
+// Read performs a load by the node and returns the protocol messages it
+// generates (empty on a cache hit).
+func (l *Line) Read(node int) []Message {
+	if l.States[node] != Invalid {
+		return nil // hit in S, E or M
+	}
+	msgs := []Message{{ReadReq, node, l.Home}}
+	// If some other node holds the line exclusively, fetch it back.
+	othersWithCopy := 0
+	for n, s := range l.States {
+		if n == node || s == Invalid {
+			continue
+		}
+		othersWithCopy++
+		if s == Modified || s == Exclusive {
+			msgs = append(msgs,
+				Message{Fetch, l.Home, n},
+				Message{WritebackData, n, l.Home})
+			l.States[n] = Shared
+		}
+	}
+	msgs = append(msgs, Message{DataReply, l.Home, node})
+	if l.Protocol == MESI && othersWithCopy == 0 {
+		l.States[node] = Exclusive
+	} else {
+		l.States[node] = Shared
+	}
+	return msgs
+}
+
+// Write performs a store by the node and returns the generated messages
+// (empty for a hit in M, or for the MESI silent E->M upgrade).
+func (l *Line) Write(node int) []Message {
+	switch l.States[node] {
+	case Modified:
+		return nil
+	case Exclusive:
+		// The MESI advantage: silent upgrade.
+		l.States[node] = Modified
+		return nil
+	}
+	msgs := []Message{{WriteReq, node, l.Home}}
+	skip := -1
+	if l.SkipLastInvalidate {
+		for n, s := range l.States {
+			if n != node && s != Invalid {
+				skip = n // highest sharer wins; bug leaves it stale
+			}
+		}
+	}
+	for n, s := range l.States {
+		if n == node || s == Invalid || n == skip {
+			continue
+		}
+		msgs = append(msgs,
+			Message{Invalidate, l.Home, n},
+			Message{InvAck, n, node})
+		l.States[n] = Invalid
+	}
+	msgs = append(msgs, Message{GrantM, l.Home, node})
+	l.States[node] = Modified
+	return msgs
+}
+
+// Evict removes the node's copy from its cache (capacity eviction). A
+// dirty (Modified) line is written back to the home node; clean lines are
+// dropped silently.
+func (l *Line) Evict(node int) []Message {
+	var msgs []Message
+	if l.States[node] == Modified {
+		msgs = append(msgs, Message{WritebackData, node, l.Home})
+	}
+	l.States[node] = Invalid
+	return msgs
+}
+
+// Clone deep-copies the line.
+func (l *Line) Clone() *Line {
+	return &Line{
+		Home:               l.Home,
+		Protocol:           l.Protocol,
+		States:             append([]LineState(nil), l.States...),
+		SkipLastInvalidate: l.SkipLastInvalidate,
+	}
+}
+
+// key canonically encodes the line state for LTS generation.
+func (l *Line) key() string {
+	b := make([]byte, len(l.States))
+	for i, s := range l.States {
+		b[i] = byte('0' + s)
+	}
+	return string(b)
+}
+
+// CoherenceLTS explores all reachable directory configurations of a
+// single line under arbitrary interleavings of reads and writes by every
+// node, labeling transitions "read !n !cost" / "write !n !cost" where
+// cost is the number of protocol messages the operation generated (this
+// makes the MESI silent upgrade observable: "write !n !0" after a cold
+// read). If the protocol ever violates the single-writer invariant, a
+// transition labeled "violation" is emitted (so NeverEnabled("violation")
+// is the safety property).
+func CoherenceLTS(nodes int, p Protocol) (*lts.LTS, error) {
+	return coherenceLTS(nodes, p, false)
+}
+
+// BuggyCoherenceLTS builds the state machine of the protocol with the
+// forgotten-invalidation bug injected (see Line.SkipLastInvalidate); the
+// "violation" action becomes reachable, demonstrating the flow's ability
+// to catch coherence defects — the FAME2 analogue of the xSTream issues.
+func BuggyCoherenceLTS(nodes int, p Protocol) (*lts.LTS, error) {
+	return coherenceLTS(nodes, p, true)
+}
+
+func coherenceLTS(nodes int, p Protocol, buggy bool) (*lts.LTS, error) {
+	line, err := NewLine(0, nodes, p)
+	if err != nil {
+		return nil, err
+	}
+	line.SkipLastInvalidate = buggy
+	l := lts.New(fmt.Sprintf("coherence-%s-%d", p, nodes))
+	index := map[string]lts.State{}
+	var queue []*Line
+	intern := func(ln *Line) lts.State {
+		k := ln.key()
+		if s, ok := index[k]; ok {
+			return s
+		}
+		s := l.AddState()
+		index[k] = s
+		queue = append(queue, ln)
+		return s
+	}
+	intern(line)
+	l.SetInitial(0)
+	violation := lts.State(-1)
+
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		src := index[cur.key()]
+		for n := 0; n < nodes; n++ {
+			for _, op := range []string{"read", "write"} {
+				next := cur.Clone()
+				var msgs []Message
+				if op == "read" {
+					msgs = next.Read(n)
+				} else {
+					msgs = next.Write(n)
+				}
+				if err := next.Invariant(); err != nil {
+					if violation < 0 {
+						violation = l.AddState()
+					}
+					l.AddTransition(src, "violation", violation)
+					continue
+				}
+				l.AddTransition(src, fmt.Sprintf("%s !%d !%d", op, n, len(msgs)), intern(next))
+			}
+		}
+	}
+	return l, nil
+}

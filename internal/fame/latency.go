@@ -1,0 +1,136 @@
+package fame
+
+import (
+	"fmt"
+
+	"multival/internal/markov"
+)
+
+// Timing gives the delay parameters of the interconnect: every protocol
+// message takes a base time plus a per-hop time, modeled as an Erlang-K
+// phase-type delay (K controls how deterministic the delay is — the
+// space–accuracy trade-off of the paper's conclusion applies here too).
+type Timing struct {
+	TBase   float64 // fixed cost per message (injection + ejection)
+	THop    float64 // cost per interconnect hop
+	ErlangK int     // phases per message delay (>=1)
+}
+
+func (t Timing) validate() error {
+	if t.TBase < 0 || t.THop < 0 || t.TBase+t.THop <= 0 {
+		return fmt.Errorf("fame: invalid timing (base %v, hop %v)", t.TBase, t.THop)
+	}
+	if t.ErlangK < 1 || t.ErlangK > 64 {
+		return fmt.Errorf("fame: ErlangK %d out of 1..64", t.ErlangK)
+	}
+	return nil
+}
+
+// Prediction is the outcome of the latency-prediction flow for one
+// configuration — one row of the paper's exploration table.
+type Prediction struct {
+	Workload Workload
+	Topology Topology
+	Timing   Timing
+	// Messages is the number of coherence messages in a steady-state
+	// ping-pong round.
+	Messages int
+	// TotalHops is the sum of hop distances over those messages.
+	TotalHops int
+	// Latency is the expected round-trip time computed on the CTMC.
+	Latency float64
+	// AnalyticLatency is the closed-form sum of delay means, used to
+	// cross-check the numerical solver.
+	AnalyticLatency float64
+	// CTMCStates is the size of the solved chain.
+	CTMCStates int
+}
+
+// PredictLatency runs the full FAME2 performance flow: simulate the
+// coherence traffic of a steady-state MPI ping-pong round, turn every
+// message into an Erlang-distributed delay whose mean depends on the
+// topology distance, assemble the round's CTMC, and compute the expected
+// absorption time (the predicted round-trip latency).
+func PredictLatency(w Workload, topo Topology, tm Timing) (*Prediction, error) {
+	if err := tm.validate(); err != nil {
+		return nil, err
+	}
+	msgs, err := PingPongMessages(w)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prediction{Workload: w, Topology: topo, Timing: tm, Messages: len(msgs)}
+
+	// Build the serial CTMC: message i occupies states [start_i,
+	// start_i + K); absorption is the final state.
+	k := tm.ErlangK
+	n := len(msgs)*k + 1
+	chain := markov.NewCTMC(n)
+	analytic := 0.0
+	state := 0
+	for _, msg := range msgs {
+		hops, err := topo.Hops(msg.Src, msg.Dst, w.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		p.TotalHops += hops
+		mean := tm.TBase + tm.THop*float64(hops)
+		if mean <= 0 {
+			// Zero-distance message (e.g. a node messaging itself via
+			// its local directory with TBase 0): treat as instantaneous
+			// by using a very fast delay.
+			mean = 1e-9
+		}
+		analytic += mean
+		// Erlang-k with rate k/mean == phasetype.FitFixedDelay(mean, k),
+		// laid out inline as k serial CTMC phases.
+		rate := float64(k) / mean
+		for ph := 0; ph < k; ph++ {
+			chain.MustAdd(state+ph, state+ph+1, rate, msg.Type.String())
+		}
+		state += k
+	}
+	p.AnalyticLatency = analytic
+	p.CTMCStates = n
+
+	h, err := chain.ExpectedTimeToAbsorption([]int{n - 1}, markov.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	p.Latency = h[0]
+	return p, nil
+}
+
+// Sweep runs PredictLatency over the cross product of topologies, MPI
+// modes, and protocols for a base workload, returning the rows in a
+// stable order (topology-major). This reproduces the exploration the
+// paper attributes to Bull: "the latency of an MPI benchmark in different
+// topologies, different software implementations of the MPI primitives,
+// and different cache coherency protocols".
+func Sweep(base Workload, topos []Topology, modes []MPIMode, protos []Protocol, tm Timing) ([]*Prediction, error) {
+	if len(topos) == 0 {
+		topos = Topologies()
+	}
+	if len(modes) == 0 {
+		modes = MPIModes()
+	}
+	if len(protos) == 0 {
+		protos = []Protocol{MSI, MESI}
+	}
+	var rows []*Prediction
+	for _, topo := range topos {
+		for _, mode := range modes {
+			for _, proto := range protos {
+				w := base
+				w.Mode = mode
+				w.Protocol = proto
+				pred, err := PredictLatency(w, topo, tm)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, pred)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,180 @@
+package fame
+
+import "fmt"
+
+// MPIMode selects the software implementation of the MPI point-to-point
+// primitives, one of the axes of the paper's latency prediction.
+type MPIMode int
+
+const (
+	// Eager sends data immediately into a pre-agreed receive buffer,
+	// then raises a flag the receiver polls.
+	Eager MPIMode = iota
+	// Rendezvous first exchanges a request/acknowledge control
+	// handshake, then transfers the data (avoids buffer overruns for
+	// large messages at the cost of extra control latency).
+	Rendezvous
+)
+
+// String names the MPI mode.
+func (m MPIMode) String() string {
+	if m == Rendezvous {
+		return "rendezvous"
+	}
+	return "eager"
+}
+
+// MPIModes lists the supported implementations.
+func MPIModes() []MPIMode { return []MPIMode{Eager, Rendezvous} }
+
+// Workload parameterizes the MPI ping-pong benchmark: two MPI ranks on
+// nodes A and B exchanging a message of Chunks cache lines per direction,
+// with ScratchLines of private computation data touched (read-modify-
+// write) before each send — the access pattern where MESI's exclusive
+// state saves transactions over MSI.
+type Workload struct {
+	Nodes    int
+	A, B     int
+	Chunks   int
+	Scratch  int
+	Protocol Protocol
+	Mode     MPIMode
+	// Rounds of ping-pong to simulate; the first round includes cold
+	// misses, so latency is reported for a steady-state round.
+	Rounds int
+}
+
+func (w Workload) validate() error {
+	if w.Nodes < 2 {
+		return fmt.Errorf("fame: need at least 2 nodes")
+	}
+	if w.A < 0 || w.A >= w.Nodes || w.B < 0 || w.B >= w.Nodes || w.A == w.B {
+		return fmt.Errorf("fame: invalid ranks A=%d B=%d", w.A, w.B)
+	}
+	if w.Chunks < 1 || w.Chunks > 64 {
+		return fmt.Errorf("fame: chunks %d out of 1..64", w.Chunks)
+	}
+	if w.Scratch < 0 || w.Scratch > 64 {
+		return fmt.Errorf("fame: scratch %d out of 0..64", w.Scratch)
+	}
+	if w.Rounds < 1 {
+		return fmt.Errorf("fame: rounds %d < 1", w.Rounds)
+	}
+	return nil
+}
+
+// memory is the MPI-visible line set of the ping-pong benchmark.
+type memory struct {
+	dataAB  []*Line // send buffer A->B, homed at B
+	dataBA  []*Line // send buffer B->A, homed at A
+	flagAB  *Line   // completion flag A->B, homed at B
+	flagBA  *Line   // completion flag B->A, homed at A
+	reqAB   *Line   // rendezvous request A->B
+	reqBA   *Line
+	scratch map[int][]*Line // per node private working set
+}
+
+func newMemory(w Workload) (*memory, error) {
+	mk := func(home int) (*Line, error) { return NewLine(home, w.Nodes, w.Protocol) }
+	m := &memory{scratch: map[int][]*Line{}}
+	for i := 0; i < w.Chunks; i++ {
+		ab, err := mk(w.B)
+		if err != nil {
+			return nil, err
+		}
+		ba, err := mk(w.A)
+		if err != nil {
+			return nil, err
+		}
+		m.dataAB = append(m.dataAB, ab)
+		m.dataBA = append(m.dataBA, ba)
+	}
+	var err error
+	if m.flagAB, err = mk(w.B); err != nil {
+		return nil, err
+	}
+	if m.flagBA, err = mk(w.A); err != nil {
+		return nil, err
+	}
+	if m.reqAB, err = mk(w.B); err != nil {
+		return nil, err
+	}
+	if m.reqBA, err = mk(w.A); err != nil {
+		return nil, err
+	}
+	for _, node := range []int{w.A, w.B} {
+		for i := 0; i < w.Scratch; i++ {
+			ln, err := mk(node)
+			if err != nil {
+				return nil, err
+			}
+			m.scratch[node] = append(m.scratch[node], ln)
+		}
+	}
+	return m, nil
+}
+
+// send performs one MPI send from `from` to `to` and returns the
+// coherence messages, in program order.
+func (m *memory) send(w Workload, from, to int) []Message {
+	var msgs []Message
+	data, flag, req := m.dataAB, m.flagAB, m.reqAB
+	if from == w.B {
+		data, flag, req = m.dataBA, m.flagBA, m.reqBA
+	}
+
+	// Local computation: read-modify-write the private scratch lines.
+	// The scratch working set does not survive in the cache between
+	// rounds (capacity eviction), so each round re-fetches it: this is
+	// the access pattern where MESI's exclusive grant saves the upgrade
+	// transaction that MSI must pay on every round.
+	for _, ln := range m.scratch[from] {
+		msgs = append(msgs, ln.Evict(from)...)
+		msgs = append(msgs, ln.Read(from)...)
+		msgs = append(msgs, ln.Write(from)...)
+	}
+
+	if w.Mode == Rendezvous {
+		// Control handshake: sender posts a request, receiver reads it
+		// and acknowledges by writing the same line, sender reads the
+		// acknowledgment.
+		msgs = append(msgs, req.Write(from)...)
+		msgs = append(msgs, req.Read(to)...)
+		msgs = append(msgs, req.Write(to)...)
+		msgs = append(msgs, req.Read(from)...)
+	}
+
+	// Data transfer: write every chunk into the receive buffer.
+	for _, ln := range data {
+		msgs = append(msgs, ln.Write(from)...)
+	}
+	// Raise the completion flag.
+	msgs = append(msgs, flag.Write(from)...)
+	// Receiver polls the flag, then reads the chunks.
+	msgs = append(msgs, flag.Read(to)...)
+	for _, ln := range data {
+		msgs = append(msgs, ln.Read(to)...)
+	}
+	return msgs
+}
+
+// PingPongMessages simulates the workload and returns the coherence
+// message sequence of the LAST round (steady state): a ping from A to B
+// followed by a pong from B to A.
+func PingPongMessages(w Workload) ([]Message, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	mem, err := newMemory(w)
+	if err != nil {
+		return nil, err
+	}
+	var last []Message
+	for r := 0; r < w.Rounds; r++ {
+		var round []Message
+		round = append(round, mem.send(w, w.A, w.B)...)
+		round = append(round, mem.send(w, w.B, w.A)...)
+		last = round
+	}
+	return last, nil
+}

@@ -1,0 +1,111 @@
+package fame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology is an interconnect shape determining the hop distance between
+// nodes; the FAME2 latency predictions compare the same workload across
+// topologies.
+type Topology int
+
+const (
+	// Ring connects nodes in a cycle; distance is the shorter arc.
+	Ring Topology = iota
+	// Mesh2D arranges nodes in a near-square grid with Manhattan
+	// routing.
+	Mesh2D
+	// Crossbar connects every pair directly (one hop).
+	Crossbar
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case Mesh2D:
+		return "mesh"
+	case Crossbar:
+		return "crossbar"
+	default:
+		return "unknown"
+	}
+}
+
+// Topologies lists all supported topologies.
+func Topologies() []Topology { return []Topology{Ring, Mesh2D, Crossbar} }
+
+// Hops returns the hop distance between two nodes among n nodes.
+func (t Topology) Hops(src, dst, n int) (int, error) {
+	if n < 1 || src < 0 || src >= n || dst < 0 || dst >= n {
+		return 0, fmt.Errorf("fame: nodes %d,%d out of range 0..%d", src, dst, n-1)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	switch t {
+	case Ring:
+		d := src - dst
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		return d, nil
+	case Mesh2D:
+		w := meshWidth(n)
+		sx, sy := src%w, src/w
+		dx, dy := dst%w, dst/w
+		return abs(sx-dx) + abs(sy-dy), nil
+	case Crossbar:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("fame: unknown topology %d", t)
+	}
+}
+
+// MeanDistance returns the average hop count over all ordered pairs of
+// distinct nodes; a coarse figure of merit for the topology.
+func (t Topology) MeanDistance(n int) (float64, error) {
+	if n < 2 {
+		return 0, nil
+	}
+	total := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			h, err := t.Hops(i, j, n)
+			if err != nil {
+				return 0, err
+			}
+			total += h
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs), nil
+}
+
+// meshWidth picks the near-square grid width for n nodes.
+func meshWidth(n int) int {
+	w := int(math.Round(math.Sqrt(float64(n))))
+	if w < 1 {
+		w = 1
+	}
+	for n%w != 0 {
+		w++
+	}
+	return w
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

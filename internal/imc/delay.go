@@ -1,0 +1,96 @@
+package imc
+
+import (
+	"fmt"
+
+	"multival/internal/lts"
+	"multival/internal/phasetype"
+)
+
+// Delay describes one delay of the decorated model, following the
+// compositional decoration recipe of the Multival paper: the functional
+// model exposes the start and end of the delay as gates, and the delay
+// itself is a phase-type distribution.
+type Delay struct {
+	// Start and End are the gates marking the beginning and completion
+	// of the delay in the functional model.
+	Start, End string
+	// Dist is the delay distribution; it must have a deterministic
+	// entry phase (EntryPhase() >= 0).
+	Dist *phasetype.Distribution
+}
+
+// DelayProcess builds the auxiliary IMC process expressing a delay: it
+// repeatedly synchronizes on start, runs through the phase-type
+// distribution's Markovian phases, and synchronizes on end.
+//
+//	idle --start--> phase(entry) ~~rates~~> done --end--> idle
+func DelayProcess(d Delay) (*IMC, error) {
+	if err := d.Dist.Validate(); err != nil {
+		return nil, err
+	}
+	entry := d.Dist.EntryPhase()
+	if entry < 0 {
+		return nil, fmt.Errorf("imc: delay distribution %q has probabilistic entry; convert to a Coxian form first (see phasetype.MomentMatch2)", d.Dist.Name)
+	}
+	k := d.Dist.NumPhases()
+	m := New(fmt.Sprintf("delay(%s..%s:%s)", d.Start, d.End, d.Dist.Name))
+	idle := m.AddState()
+	phases := make([]lts.State, k)
+	for i := range phases {
+		phases[i] = m.AddState()
+	}
+	done := m.AddState()
+
+	m.AddInteractive(idle, d.Start, phases[entry])
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if r := d.Dist.Rates[i][j]; r > 0 {
+				m.MustAddRate(phases[i], phases[j], r)
+			}
+		}
+		if r := d.Dist.Exit[i]; r > 0 {
+			m.MustAddRate(phases[i], done, r)
+		}
+	}
+	m.AddInteractive(done, d.End, idle)
+	m.Inter.SetInitial(idle)
+	return m, nil
+}
+
+// Decorate attaches delays to a functional LTS compositionally: the LTS is
+// wrapped as an IMC and composed with one DelayProcess per delay,
+// synchronizing on the start/end gates, which are then hidden. The result
+// is the decorated IMC described in the paper (before lumping and CTMC
+// extraction).
+func Decorate(l *lts.LTS, delays []Delay, maxStates int) (*IMC, error) {
+	m := FromLTS(l)
+	var hide []string
+	for _, d := range delays {
+		dp, err := DelayProcess(d)
+		if err != nil {
+			return nil, fmt.Errorf("imc: delay %s..%s: %w", d.Start, d.End, err)
+		}
+		m, err = Compose(m, dp, []string{gateOf(d.Start), gateOf(d.End)}, maxStates)
+		if err != nil {
+			return nil, err
+		}
+		hide = append(hide, gateOf(d.Start), gateOf(d.End))
+	}
+	return m.Hide(hide...).Trim(), nil
+}
+
+// DecorateRates is the "direct" decoration: each listed label is replaced
+// by a Markovian transition with the given rate (exponential delay), in
+// one pass. Labels must match exactly.
+func DecorateRates(l *lts.LTS, rates map[string]float64) (*IMC, error) {
+	m := FromLTS(l)
+	for label, rate := range rates {
+		var err error
+		m, err = m.ReplaceLabelByRate(label, rate)
+		if err != nil {
+			return nil, fmt.Errorf("imc: decorating %q: %w", label, err)
+		}
+	}
+	return m, nil
+}

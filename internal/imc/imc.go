@@ -1,0 +1,306 @@
+// Package imc implements Interactive Markov Chains (Hermanns, LNCS 2428),
+// the formalism at the heart of the Multival performance-evaluation flow:
+// an IMC combines the interactive transitions of an LTS with Markovian
+// (exponentially delayed) transitions. The package provides parallel
+// composition, hiding, maximal progress, delay decoration with phase-type
+// distributions, stochastic lumping, and the transformation into a CTMC —
+// including explicit handling of the nondeterminism that the paper lists
+// as an open issue (schedulers and extremal bounds).
+package imc
+
+import (
+	"fmt"
+	"math"
+
+	"multival/internal/lts"
+)
+
+// MTransition is a Markovian (delay) transition with an exponential rate.
+type MTransition struct {
+	Src, Dst lts.State
+	Rate     float64
+}
+
+// IMC is an interactive Markov chain: an LTS carrying the interactive
+// transitions plus a set of Markovian transitions over the same states.
+type IMC struct {
+	// Inter holds the states and interactive transitions. Its state set
+	// is the IMC's state set.
+	Inter *lts.LTS
+	// Markov holds the Markovian transitions.
+	Markov []MTransition
+
+	mout [][]int32 // adjacency for Markov, lazily maintained
+}
+
+// New creates an empty IMC with the given name.
+func New(name string) *IMC {
+	return &IMC{Inter: lts.New(name)}
+}
+
+// FromLTS wraps an LTS as an IMC with no Markovian transitions. The LTS is
+// copied, so later mutations do not alias.
+func FromLTS(l *lts.LTS) *IMC {
+	return &IMC{Inter: l.Copy()}
+}
+
+// Name returns the IMC's name.
+func (m *IMC) Name() string { return m.Inter.Name() }
+
+// NumStates returns the number of states.
+func (m *IMC) NumStates() int { return m.Inter.NumStates() }
+
+// Initial returns the initial state.
+func (m *IMC) Initial() lts.State { return m.Inter.Initial() }
+
+// AddState adds a fresh state.
+func (m *IMC) AddState() lts.State {
+	m.mout = nil
+	return m.Inter.AddState()
+}
+
+// AddInteractive adds an interactive transition.
+func (m *IMC) AddInteractive(src lts.State, label string, dst lts.State) {
+	m.Inter.AddTransition(src, label, dst)
+}
+
+// AddRate adds a Markovian transition; rate must be positive and finite.
+func (m *IMC) AddRate(src, dst lts.State, rate float64) error {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("imc: invalid rate %v", rate)
+	}
+	if int(src) >= m.NumStates() || int(dst) >= m.NumStates() || src < 0 || dst < 0 {
+		return fmt.Errorf("imc: transition (%d,%d) out of range", src, dst)
+	}
+	m.Markov = append(m.Markov, MTransition{src, dst, rate})
+	m.mout = nil
+	return nil
+}
+
+// MustAddRate is AddRate that panics on error.
+func (m *IMC) MustAddRate(src, dst lts.State, rate float64) {
+	if err := m.AddRate(src, dst, rate); err != nil {
+		panic(err)
+	}
+}
+
+// markovOut returns the Markovian adjacency, building it on demand.
+func (m *IMC) markovOut() [][]int32 {
+	if m.mout == nil {
+		m.mout = make([][]int32, m.NumStates())
+		for i, t := range m.Markov {
+			m.mout[t.Src] = append(m.mout[t.Src], int32(i))
+		}
+	}
+	return m.mout
+}
+
+// EachRateFrom calls f for every Markovian transition leaving s.
+func (m *IMC) EachRateFrom(s lts.State, f func(MTransition)) {
+	for _, idx := range m.markovOut()[s] {
+		f(m.Markov[idx])
+	}
+}
+
+// ExitRate returns the total Markovian exit rate of s.
+func (m *IMC) ExitRate(s lts.State) float64 {
+	total := 0.0
+	m.EachRateFrom(s, func(t MTransition) { total += t.Rate })
+	return total
+}
+
+// HasInteractive reports whether s has at least one outgoing interactive
+// transition.
+func (m *IMC) HasInteractive(s lts.State) bool {
+	return m.Inter.OutDegree(s) > 0
+}
+
+// Hide replaces interactive labels whose gate (prefix before the first
+// space) is in the given set by tau.
+func (m *IMC) Hide(gates ...string) *IMC {
+	set := map[string]bool{}
+	for _, g := range gates {
+		set[g] = true
+	}
+	inter := m.Inter.Hide(func(label string) bool {
+		return set[gateOf(label)]
+	})
+	return &IMC{Inter: inter, Markov: append([]MTransition(nil), m.Markov...)}
+}
+
+// HideAll hides every visible interactive label.
+func (m *IMC) HideAll() *IMC {
+	return &IMC{
+		Inter:  m.Inter.HideAll(),
+		Markov: append([]MTransition(nil), m.Markov...),
+	}
+}
+
+// MaximalProgress removes Markovian transitions from states that can take
+// an internal (tau) step: internal actions take no time, so the
+// exponential delay can never win the race. Visible interactive
+// transitions do NOT preempt delays (the environment may refuse them).
+func (m *IMC) MaximalProgress() *IMC {
+	tau := m.Inter.LookupLabel(lts.Tau)
+	urgent := make([]bool, m.NumStates())
+	if tau >= 0 {
+		m.Inter.EachTransition(func(t lts.Transition) {
+			if t.Label == tau {
+				urgent[t.Src] = true
+			}
+		})
+	}
+	out := &IMC{Inter: m.Inter.Copy()}
+	for _, t := range m.Markov {
+		if !urgent[t.Src] {
+			out.Markov = append(out.Markov, t)
+		}
+	}
+	return out
+}
+
+// Trim restricts the IMC to states reachable from the initial state via
+// interactive or Markovian transitions.
+func (m *IMC) Trim() *IMC {
+	n := m.NumStates()
+	if n == 0 {
+		return New(m.Name())
+	}
+	seen := make([]bool, n)
+	stack := []lts.State{m.Initial()}
+	seen[m.Initial()] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m.Inter.EachOutgoing(s, func(t lts.Transition) {
+			if !seen[t.Dst] {
+				seen[t.Dst] = true
+				stack = append(stack, t.Dst)
+			}
+		})
+		m.EachRateFrom(s, func(t MTransition) {
+			if !seen[t.Dst] {
+				seen[t.Dst] = true
+				stack = append(stack, t.Dst)
+			}
+		})
+	}
+	mapping := make([]lts.State, n)
+	out := New(m.Name())
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			mapping[s] = out.AddState()
+		} else {
+			mapping[s] = -1
+		}
+	}
+	m.Inter.EachTransition(func(t lts.Transition) {
+		if seen[t.Src] && seen[t.Dst] {
+			out.Inter.AddTransition(mapping[t.Src], m.Inter.LabelName(t.Label), mapping[t.Dst])
+		}
+	})
+	for _, t := range m.Markov {
+		if seen[t.Src] && seen[t.Dst] {
+			out.MustAddRate(mapping[t.Src], mapping[t.Dst], t.Rate)
+		}
+	}
+	out.Inter.SetInitial(mapping[m.Initial()])
+	return out
+}
+
+// Stats summarizes the IMC's size.
+type Stats struct {
+	States      int
+	Interactive int
+	Markovian   int
+}
+
+// Stats computes size statistics.
+func (m *IMC) Stats() Stats {
+	return Stats{
+		States:      m.NumStates(),
+		Interactive: m.Inter.NumTransitions(),
+		Markovian:   len(m.Markov),
+	}
+}
+
+// String summarizes the IMC.
+func (m *IMC) String() string {
+	st := m.Stats()
+	return fmt.Sprintf("imc %q: %d states, %d interactive, %d Markovian",
+		m.Name(), st.States, st.Interactive, st.Markovian)
+}
+
+// ReplaceLabelByRate converts every interactive transition carrying the
+// exact label into a Markovian transition with the given rate. This is
+// the paper's "direct" decoration style: stochastic delays inserted in
+// place of designated actions.
+func (m *IMC) ReplaceLabelByRate(label string, rate float64) (*IMC, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("imc: invalid rate %v", rate)
+	}
+	out := New(m.Name())
+	out.Inter.AddStates(m.NumStates())
+	var rerr error
+	m.Inter.EachTransition(func(t lts.Transition) {
+		if m.Inter.LabelName(t.Label) == label {
+			if err := out.AddRate(t.Src, t.Dst, rate); err != nil {
+				rerr = err
+			}
+			return
+		}
+		out.Inter.AddTransition(t.Src, m.Inter.LabelName(t.Label), t.Dst)
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	for _, t := range m.Markov {
+		out.Markov = append(out.Markov, t)
+	}
+	if m.NumStates() > 0 {
+		out.Inter.SetInitial(m.Initial())
+	}
+	return out, nil
+}
+
+// ReplaceLabelByRateWithMarker converts every interactive transition
+// carrying the exact label into a Markovian delay followed by an
+// instantaneous visible marker action:
+//
+//	src --label--> dst   becomes   src ~~rate~~> fresh --marker--> dst
+//
+// The marker survives CTMC extraction as a throughput weight, so the
+// occurrence rate of the original action remains measurable after the
+// delay decoration.
+func (m *IMC) ReplaceLabelByRateWithMarker(label string, rate float64, marker string) (*IMC, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("imc: invalid rate %v", rate)
+	}
+	out := New(m.Name())
+	out.Inter.AddStates(m.NumStates())
+	m.Inter.EachTransition(func(t lts.Transition) {
+		if m.Inter.LabelName(t.Label) == label {
+			mid := out.AddState()
+			out.MustAddRate(t.Src, mid, rate)
+			out.Inter.AddTransition(mid, marker, t.Dst)
+			return
+		}
+		out.Inter.AddTransition(t.Src, m.Inter.LabelName(t.Label), t.Dst)
+	})
+	for _, t := range m.Markov {
+		out.Markov = append(out.Markov, t)
+	}
+	if m.NumStates() > 0 {
+		out.Inter.SetInitial(m.Initial())
+	}
+	return out, nil
+}
+
+func gateOf(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == ' ' {
+			return label[:i]
+		}
+	}
+	return label
+}

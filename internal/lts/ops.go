@@ -1,0 +1,377 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reachable returns the set of states reachable from the initial state, as
+// a boolean slice indexed by state.
+func (l *LTS) Reachable() []bool {
+	seen := make([]bool, l.numStates)
+	if l.numStates == 0 {
+		return seen
+	}
+	stack := []State{l.initial}
+	seen[l.initial] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l.EachOutgoing(s, func(t Transition) {
+			if !seen[t.Dst] {
+				seen[t.Dst] = true
+				stack = append(stack, t.Dst)
+			}
+		})
+	}
+	return seen
+}
+
+// Trim returns a copy of the LTS restricted to states reachable from the
+// initial state, renumbered densely in BFS order, together with the mapping
+// old state -> new state (-1 for removed states). Trimming in BFS order also
+// canonicalizes state numbering for graphs produced deterministically.
+func (l *LTS) Trim() (*LTS, []State) {
+	mapping := make([]State, l.numStates)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	c := New(l.name)
+	if l.numStates == 0 {
+		return c, mapping
+	}
+	queue := []State{l.initial}
+	mapping[l.initial] = c.AddState()
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		l.EachOutgoing(s, func(t Transition) {
+			if mapping[t.Dst] < 0 {
+				mapping[t.Dst] = c.AddState()
+				queue = append(queue, t.Dst)
+			}
+		})
+	}
+	for _, s := range queue {
+		l.EachOutgoing(s, func(t Transition) {
+			c.AddTransition(mapping[t.Src], l.labels[t.Label], mapping[t.Dst])
+		})
+	}
+	c.SetInitial(mapping[l.initial])
+	return c, mapping
+}
+
+// Hide returns a copy of the LTS in which every label for which pred
+// returns true is replaced by the internal action Tau. The initial state is
+// preserved.
+func (l *LTS) Hide(pred func(label string) bool) *LTS {
+	return l.Relabel(func(lab string) string {
+		if lab != Tau && pred(lab) {
+			return Tau
+		}
+		return lab
+	})
+}
+
+// HideAll returns a copy with every visible label replaced by Tau.
+func (l *LTS) HideAll() *LTS {
+	return l.Hide(func(string) bool { return true })
+}
+
+// HideLabels returns a copy hiding exactly the given label strings.
+func (l *LTS) HideLabels(labels ...string) *LTS {
+	set := make(map[string]bool, len(labels))
+	for _, lab := range labels {
+		set[lab] = true
+	}
+	return l.Hide(func(lab string) bool { return set[lab] })
+}
+
+// Relabel returns a copy of the LTS with every label transformed by f.
+func (l *LTS) Relabel(f func(label string) string) *LTS {
+	c := New(l.name)
+	c.AddStates(l.numStates)
+	for _, t := range l.trans {
+		c.AddTransition(t.Src, f(l.labels[t.Label]), t.Dst)
+	}
+	if l.numStates > 0 {
+		c.SetInitial(l.initial)
+	}
+	return c
+}
+
+// VisibleLabels returns the sorted set of non-tau labels that occur on at
+// least one transition.
+func (l *LTS) VisibleLabels() []string {
+	used := make([]bool, len(l.labels))
+	for _, t := range l.trans {
+		used[t.Label] = true
+	}
+	var vis []string
+	for id, ok := range used {
+		if ok && l.labels[id] != Tau {
+			vis = append(vis, l.labels[id])
+		}
+	}
+	sort.Strings(vis)
+	return vis
+}
+
+// TauClosure returns the set of states reachable from s by zero or more tau
+// transitions, in ascending order.
+func (l *LTS) TauClosure(s State) []State {
+	tau, ok := l.labelIdx[Tau]
+	if !ok {
+		return []State{s}
+	}
+	seen := map[State]bool{s: true}
+	stack := []State{s}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		l.EachOutgoing(cur, func(t Transition) {
+			if t.Label == tau && !seen[t.Dst] {
+				seen[t.Dst] = true
+				stack = append(stack, t.Dst)
+			}
+		})
+	}
+	out := make([]State, 0, len(seen))
+	for st := range seen {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Deterministic reports whether the LTS contains no tau transition and no
+// state with two distinct successors under the same label.
+func (l *LTS) Deterministic() bool {
+	tau, hasTau := l.labelIdx[Tau]
+	type key struct {
+		s   State
+		lab int
+	}
+	seen := make(map[key]State, len(l.trans))
+	for _, t := range l.trans {
+		if hasTau && t.Label == tau {
+			return false
+		}
+		k := key{t.Src, t.Label}
+		if prev, ok := seen[k]; ok && prev != t.Dst {
+			return false
+		}
+		seen[k] = t.Dst
+	}
+	return true
+}
+
+// Determinize returns a deterministic LTS that is weak-trace equivalent to
+// the input: states of the result are tau-closed subsets of input states
+// (classic subset construction). Labels are preserved; the result contains
+// no tau transitions. Beware: worst-case exponential.
+func (l *LTS) Determinize() *LTS {
+	d := New(l.name + ".det")
+	if l.numStates == 0 {
+		return d
+	}
+	tau := -1
+	if id, ok := l.labelIdx[Tau]; ok {
+		tau = id
+	}
+
+	encode := func(set []State) string {
+		return fmt.Sprint(set)
+	}
+	closure := func(set []State) []State {
+		var all []State
+		for _, s := range set {
+			all = append(all, l.TauClosure(s)...)
+		}
+		return dedupStates(all)
+	}
+
+	init := closure([]State{l.initial})
+	index := map[string]State{encode(init): d.AddState()}
+	queue := [][]State{init}
+	d.SetInitial(0)
+	for qi := 0; qi < len(queue); qi++ {
+		set := queue[qi]
+		src := index[encode(set)]
+		// Group successors by label.
+		byLabel := make(map[int][]State)
+		for _, s := range set {
+			l.EachOutgoing(s, func(t Transition) {
+				if t.Label == tau {
+					return
+				}
+				byLabel[t.Label] = append(byLabel[t.Label], t.Dst)
+			})
+		}
+		labs := make([]int, 0, len(byLabel))
+		for lab := range byLabel {
+			labs = append(labs, lab)
+		}
+		sort.Ints(labs)
+		for _, lab := range labs {
+			next := closure(dedupStates(byLabel[lab]))
+			k := encode(next)
+			dst, ok := index[k]
+			if !ok {
+				dst = d.AddState()
+				index[k] = dst
+				queue = append(queue, next)
+			}
+			d.AddTransition(src, l.labels[lab], dst)
+		}
+	}
+	return d
+}
+
+// StronglyConnectedComponents returns Tarjan SCCs restricted to transitions
+// accepted by pred (pass nil to use all transitions). Components are
+// returned in reverse topological order; each component lists its states in
+// ascending order.
+func (l *LTS) StronglyConnectedComponents(pred func(Transition) bool) [][]State {
+	const unvisited = -1
+	n := l.numStates
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []State
+		counter int
+		comps   [][]State
+	)
+
+	// Iterative Tarjan to survive deep graphs.
+	type frame struct {
+		s    State
+		edge int
+		out  []Transition
+	}
+	var callStack []frame
+
+	visit := func(root State) {
+		callStack = callStack[:0]
+		callStack = append(callStack, frame{s: root, out: l.Outgoing(root)})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			advanced := false
+			for f.edge < len(f.out) {
+				t := f.out[f.edge]
+				f.edge++
+				if pred != nil && !pred(t) {
+					continue
+				}
+				w := t.Dst
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{s: w, out: l.Outgoing(w)})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.s] {
+					low[f.s] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.s is finished.
+			s := f.s
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[s] < low[parent.s] {
+					low[parent.s] = low[s]
+				}
+			}
+			if low[s] == index[s] {
+				var comp []State
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == s {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		if index[s] == unvisited {
+			visit(State(s))
+		}
+	}
+	return comps
+}
+
+// TauCycles reports whether the LTS contains a cycle of tau transitions
+// (a divergence). Self tau-loops count.
+func (l *LTS) TauCycles() bool {
+	tau, ok := l.labelIdx[Tau]
+	if !ok {
+		return false
+	}
+	isTau := func(t Transition) bool { return t.Label == tau }
+	for _, t := range l.trans {
+		if t.Label == tau && t.Src == t.Dst {
+			return true
+		}
+	}
+	for _, comp := range l.StronglyConnectedComponents(isTau) {
+		if len(comp) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Isomorphic reports whether two LTSs are identical up to the BFS
+// renumbering performed by Trim (a cheap structural equality useful in
+// tests; it is stronger than bisimilarity).
+func Isomorphic(a, b *LTS) bool {
+	ta, _ := a.Trim()
+	tb, _ := b.Trim()
+	if ta.numStates != tb.numStates || len(ta.trans) != len(tb.trans) {
+		return false
+	}
+	ka := canonicalEdgeList(ta)
+	kb := canonicalEdgeList(tb)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func canonicalEdgeList(l *LTS) []string {
+	edges := make([]string, 0, len(l.trans))
+	for _, t := range l.trans {
+		edges = append(edges, fmt.Sprintf("%d|%s|%d", t.Src, l.labels[t.Label], t.Dst))
+	}
+	sort.Strings(edges)
+	return edges
+}

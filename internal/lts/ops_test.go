@@ -1,0 +1,286 @@
+package lts
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrimRemovesUnreachable(t *testing.T) {
+	l := New("t")
+	l.AddStates(4)
+	l.AddTransition(0, "a", 1)
+	l.AddTransition(2, "b", 3) // unreachable island
+	l.SetInitial(0)
+	trimmed, mapping := l.Trim()
+	if trimmed.NumStates() != 2 {
+		t.Fatalf("trimmed to %d states, want 2", trimmed.NumStates())
+	}
+	if mapping[2] != -1 || mapping[3] != -1 {
+		t.Errorf("unreachable states kept in mapping: %v", mapping)
+	}
+	if mapping[0] != 0 {
+		t.Errorf("initial state mapped to %d, want 0", mapping[0])
+	}
+}
+
+func TestTrimBFSOrderCanonical(t *testing.T) {
+	l := New("t")
+	l.AddStates(3)
+	l.AddTransition(0, "a", 2)
+	l.AddTransition(0, "b", 1)
+	l.AddTransition(2, "c", 1)
+	l.SetInitial(0)
+	trimmed, mapping := l.Trim()
+	// BFS from 0 discovers 2 (via a, first edge) before 1.
+	if mapping[2] != 1 || mapping[1] != 2 {
+		t.Fatalf("BFS renumbering = %v, want [0 2 1]", mapping)
+	}
+	if trimmed.NumTransitions() != 3 {
+		t.Fatalf("trim dropped transitions: %d", trimmed.NumTransitions())
+	}
+}
+
+func TestHide(t *testing.T) {
+	l := New("t")
+	l.AddStates(2)
+	l.AddTransition(0, "secret", 1)
+	l.AddTransition(0, "public", 1)
+	h := l.HideLabels("secret")
+	var tauSeen, pubSeen bool
+	h.EachTransition(func(tr Transition) {
+		switch h.LabelName(tr.Label) {
+		case Tau:
+			tauSeen = true
+		case "public":
+			pubSeen = true
+		default:
+			t.Errorf("unexpected label %q", h.LabelName(tr.Label))
+		}
+	})
+	if !tauSeen || !pubSeen {
+		t.Fatalf("hide produced tau=%v public=%v", tauSeen, pubSeen)
+	}
+	if got := h.VisibleLabels(); len(got) != 1 || got[0] != "public" {
+		t.Fatalf("VisibleLabels = %v", got)
+	}
+}
+
+func TestHideAll(t *testing.T) {
+	l := New("t")
+	l.AddStates(2)
+	l.AddTransition(0, "a", 1)
+	l.AddTransition(1, Tau, 0)
+	h := l.HideAll()
+	if len(h.VisibleLabels()) != 0 {
+		t.Fatalf("HideAll left visible labels %v", h.VisibleLabels())
+	}
+	if h.NumTransitions() != 2 {
+		t.Fatalf("HideAll changed transition count")
+	}
+}
+
+func TestTauClosure(t *testing.T) {
+	l := New("t")
+	l.AddStates(4)
+	l.AddTransition(0, Tau, 1)
+	l.AddTransition(1, Tau, 2)
+	l.AddTransition(2, "a", 3)
+	got := l.TauClosure(0)
+	want := []State{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("TauClosure = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TauClosure = %v, want %v", got, want)
+		}
+	}
+	// No tau label interned at all.
+	l2 := New("t2")
+	l2.AddState()
+	if got := l2.TauClosure(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TauClosure without tau = %v", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	det := chain(t, "a", "b")
+	if !det.Deterministic() {
+		t.Error("chain should be deterministic")
+	}
+	nd := New("nd")
+	nd.AddStates(3)
+	nd.AddTransition(0, "a", 1)
+	nd.AddTransition(0, "a", 2)
+	if nd.Deterministic() {
+		t.Error("branching on same label should be nondeterministic")
+	}
+	tauL := New("tau")
+	tauL.AddStates(2)
+	tauL.AddTransition(0, Tau, 1)
+	if tauL.Deterministic() {
+		t.Error("tau transition should make the LTS nondeterministic")
+	}
+	// Duplicate edges to the same destination remain deterministic.
+	dup := New("dup")
+	dup.AddStates(2)
+	dup.AddTransition(0, "a", 1)
+	dup.AddTransition(0, "a", 1)
+	if !dup.Deterministic() {
+		t.Error("duplicate same-target edges are still deterministic")
+	}
+}
+
+func TestDeterminize(t *testing.T) {
+	// 0 -tau-> 1 -a-> 2 ;  0 -a-> 3 ; both a-targets merge in subset
+	l := New("t")
+	l.AddStates(4)
+	l.AddTransition(0, Tau, 1)
+	l.AddTransition(1, "a", 2)
+	l.AddTransition(0, "a", 3)
+	l.SetInitial(0)
+	d := l.Determinize()
+	if !d.Deterministic() {
+		t.Fatal("Determinize returned a nondeterministic LTS")
+	}
+	// Initial subset {0,1} --a--> {2,3}: exactly one a-transition from init.
+	succ := d.Successors(d.Initial(), d.LookupLabel("a"))
+	if len(succ) != 1 {
+		t.Fatalf("determinized initial state has %d a-successors, want 1", len(succ))
+	}
+}
+
+func TestDeterminizePreservesTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		l := Random(rng, RandomConfig{States: 8, Labels: 2, Density: 1.6, TauProb: 0.3, Connect: true})
+		d := l.Determinize()
+		if !d.Deterministic() {
+			t.Fatal("non-deterministic result")
+		}
+		// Every trace of length <= 4 of l must exist in d and vice versa.
+		tr1 := traces(l, 4)
+		tr2 := traces(d, 4)
+		if len(tr1) != len(tr2) {
+			t.Fatalf("trace sets differ: %d vs %d", len(tr1), len(tr2))
+		}
+		for k := range tr1 {
+			if !tr2[k] {
+				t.Fatalf("trace %q lost by determinization", k)
+			}
+		}
+	}
+}
+
+// traces returns the set of visible traces of length <= depth.
+func traces(l *LTS, depth int) map[string]bool {
+	out := map[string]bool{"": true}
+	type cfg struct {
+		s     State
+		trace string
+		d     int
+	}
+	var tau int = -1
+	if id := l.LookupLabel(Tau); id >= 0 {
+		tau = id
+	}
+	seen := map[cfg]bool{}
+	stack := []cfg{{l.Initial(), "", 0}}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out[c.trace] = true
+		if c.d == depth {
+			continue
+		}
+		l.EachOutgoing(c.s, func(t Transition) {
+			if t.Label == tau {
+				stack = append(stack, cfg{t.Dst, c.trace, c.d})
+			} else {
+				stack = append(stack, cfg{t.Dst, c.trace + "." + l.LabelName(t.Label), c.d + 1})
+			}
+		})
+	}
+	return out
+}
+
+func TestSCC(t *testing.T) {
+	l := New("t")
+	l.AddStates(5)
+	l.AddTransition(0, "a", 1)
+	l.AddTransition(1, "a", 2)
+	l.AddTransition(2, "a", 0) // cycle {0,1,2}
+	l.AddTransition(2, "b", 3)
+	l.AddTransition(3, "b", 4)
+	comps := l.StronglyConnectedComponents(nil)
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(comps), comps)
+	}
+	var big []State
+	for _, c := range comps {
+		if len(c) == 3 {
+			big = c
+		}
+	}
+	if big == nil || big[0] != 0 || big[1] != 1 || big[2] != 2 {
+		t.Fatalf("cycle SCC = %v", big)
+	}
+}
+
+func TestTauCycles(t *testing.T) {
+	l := New("t")
+	l.AddStates(3)
+	l.AddTransition(0, "a", 1)
+	l.AddTransition(1, Tau, 2)
+	l.AddTransition(2, Tau, 1)
+	if !l.TauCycles() {
+		t.Error("tau cycle not detected")
+	}
+	l2 := chain(t, "a", Tau, "b")
+	if l2.TauCycles() {
+		t.Error("false positive tau cycle")
+	}
+	l3 := New("selfloop")
+	l3.AddState()
+	l3.AddTransition(0, Tau, 0)
+	if !l3.TauCycles() {
+		t.Error("tau self-loop not detected")
+	}
+}
+
+func TestIsomorphic(t *testing.T) {
+	a := chain(t, "a", "b")
+	b := chain(t, "a", "b")
+	if !Isomorphic(a, b) {
+		t.Error("identical chains not isomorphic")
+	}
+	c := chain(t, "a", "c")
+	if Isomorphic(a, c) {
+		t.Error("different labels reported isomorphic")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		l := Random(rng, RandomConfig{States: 20, Labels: 3, Density: 2, Connect: true})
+		reach := l.Reachable()
+		for s, ok := range reach {
+			if !ok {
+				t.Fatalf("state %d unreachable in connected random LTS", s)
+			}
+		}
+	}
+}
+
+func TestRandomRespectsSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := Random(rng, RandomConfig{States: 5, Labels: 30, Density: 3, Connect: false})
+	if l.NumStates() != 5 {
+		t.Fatalf("NumStates = %d, want 5", l.NumStates())
+	}
+}

@@ -1,0 +1,148 @@
+package lts
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randLTS wraps an LTS for testing/quick generation.
+type randLTS struct{ L *LTS }
+
+// Generate implements quick.Generator with a connected random LTS of
+// moderate size.
+func (randLTS) Generate(rng *rand.Rand, size int) reflect.Value {
+	if size < 2 {
+		size = 2
+	}
+	if size > 30 {
+		size = 30
+	}
+	l := Random(rng, RandomConfig{
+		States:  2 + rng.Intn(size),
+		Labels:  1 + rng.Intn(4),
+		Density: 0.5 + rng.Float64()*2.5,
+		TauProb: rng.Float64() * 0.4,
+		Connect: rng.Intn(2) == 0,
+	})
+	return reflect.ValueOf(randLTS{l})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(20080310))}
+}
+
+func TestQuickTrimIdempotent(t *testing.T) {
+	prop := func(r randLTS) bool {
+		t1, _ := r.L.Trim()
+		t2, _ := t1.Trim()
+		return Isomorphic(t1, t2)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTrimPreservesReachableCounts(t *testing.T) {
+	prop := func(r randLTS) bool {
+		reach := r.L.Reachable()
+		n := 0
+		for _, ok := range reach {
+			if ok {
+				n++
+			}
+		}
+		trimmed, _ := r.L.Trim()
+		return trimmed.NumStates() == n
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHideAllRemovesVisible(t *testing.T) {
+	prop := func(r randLTS) bool {
+		h := r.L.HideAll()
+		return len(h.VisibleLabels()) == 0 &&
+			h.NumTransitions() == r.L.NumTransitions() &&
+			h.NumStates() == r.L.NumStates()
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelabelIdentityIsNoop(t *testing.T) {
+	prop := func(r randLTS) bool {
+		c := r.L.Relabel(func(s string) string { return s })
+		return Isomorphic(r.L, c)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeterminizeIsDeterministic(t *testing.T) {
+	prop := func(r randLTS) bool {
+		trimmed, _ := r.L.Trim()
+		if trimmed.NumStates() > 12 {
+			return true // keep subset construction small
+		}
+		return trimmed.Determinize().Deterministic()
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTauClosureContainsSelf(t *testing.T) {
+	prop := func(r randLTS) bool {
+		for s := 0; s < r.L.NumStates(); s++ {
+			cl := r.L.TauClosure(State(s))
+			found := false
+			for _, c := range cl {
+				if c == State(s) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSCCPartitionsStates(t *testing.T) {
+	prop := func(r randLTS) bool {
+		comps := r.L.StronglyConnectedComponents(nil)
+		seen := make([]bool, r.L.NumStates())
+		total := 0
+		for _, c := range comps {
+			for _, s := range c {
+				if seen[s] {
+					return false // state in two components
+				}
+				seen[s] = true
+				total++
+			}
+		}
+		return total == r.L.NumStates()
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCopyEqualsOriginal(t *testing.T) {
+	prop := func(r randLTS) bool {
+		return Isomorphic(r.L, r.L.Copy())
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package lts
+
+import "math/rand"
+
+// RandomConfig controls Random LTS generation (used by property-based
+// tests and benchmarks across the module).
+type RandomConfig struct {
+	States   int     // number of states (>= 1)
+	Labels   int     // number of distinct visible labels (>= 1)
+	Density  float64 // expected outgoing transitions per state
+	TauProb  float64 // probability that a generated transition is tau
+	Connect  bool    // if true, guarantee all states reachable from 0
+	SelfLoop bool    // allow self loops
+}
+
+// Random generates a pseudo-random LTS from cfg using rng. The initial
+// state is 0. With cfg.Connect, a random spanning structure guarantees
+// reachability, making Trim a no-op.
+func Random(rng *rand.Rand, cfg RandomConfig) *LTS {
+	if cfg.States < 1 {
+		cfg.States = 1
+	}
+	if cfg.Labels < 1 {
+		cfg.Labels = 1
+	}
+	if cfg.Density <= 0 {
+		cfg.Density = 2
+	}
+	l := New("random")
+	l.AddStates(cfg.States)
+	labels := make([]string, cfg.Labels)
+	for i := range labels {
+		labels[i] = string(rune('a' + i%26))
+		if i >= 26 {
+			labels[i] = labels[i] + string(rune('0'+i/26))
+		}
+	}
+	pick := func(src State) (string, State) {
+		lab := labels[rng.Intn(len(labels))]
+		if cfg.TauProb > 0 && rng.Float64() < cfg.TauProb {
+			lab = Tau
+		}
+		dst := State(rng.Intn(cfg.States))
+		if !cfg.SelfLoop && dst == src && cfg.States > 1 {
+			dst = State((int(dst) + 1) % cfg.States)
+		}
+		return lab, dst
+	}
+	if cfg.Connect {
+		// Spanning tree: state k reached from a random earlier state.
+		for k := 1; k < cfg.States; k++ {
+			src := State(rng.Intn(k))
+			lab, _ := pick(src)
+			l.AddTransition(src, lab, State(k))
+		}
+	}
+	extra := int(float64(cfg.States) * cfg.Density)
+	if cfg.Connect {
+		extra -= cfg.States - 1
+	}
+	for i := 0; i < extra; i++ {
+		src := State(rng.Intn(cfg.States))
+		lab, dst := pick(src)
+		l.AddTransition(src, lab, dst)
+	}
+	l.SetInitial(0)
+	return l
+}

@@ -1,0 +1,219 @@
+// Package markov implements continuous-time Markov chains (CTMCs) and the
+// numerical solvers the Multival performance-evaluation flow relies on:
+// steady-state distributions (Gauss–Seidel with BSCC analysis), transient
+// distributions (uniformization), transition throughputs, expected
+// absorption times (used for latency predictions), and a discrete-event
+// simulator for cross-validation. It plays the role of BCG_STEADY and
+// BCG_TRANSIENT in CADP.
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Transition is a rated, optionally labeled CTMC transition.
+type Transition struct {
+	Src, Dst int
+	Rate     float64
+	Label    string // informational; used for throughput queries
+}
+
+// CTMC is a finite continuous-time Markov chain with a distinguished
+// initial state.
+type CTMC struct {
+	numStates int
+	initial   int
+	trans     []Transition
+	out       [][]int32 // adjacency into trans
+	exitRate  []float64
+}
+
+// NewCTMC creates a CTMC with n states, initial state 0.
+func NewCTMC(n int) *CTMC {
+	return &CTMC{
+		numStates: n,
+		out:       make([][]int32, n),
+		exitRate:  make([]float64, n),
+	}
+}
+
+// NumStates returns the number of states.
+func (c *CTMC) NumStates() int { return c.numStates }
+
+// NumTransitions returns the number of transitions.
+func (c *CTMC) NumTransitions() int { return len(c.trans) }
+
+// Initial returns the initial state.
+func (c *CTMC) Initial() int { return c.initial }
+
+// SetInitial sets the initial state.
+func (c *CTMC) SetInitial(s int) {
+	if s < 0 || s >= c.numStates {
+		panic(fmt.Sprintf("markov: state %d out of range", s))
+	}
+	c.initial = s
+}
+
+// Add inserts a transition with the given rate (must be positive) and an
+// optional label. Self-loops are ignored (they do not affect CTMC
+// semantics) but still contribute to label throughput bookkeeping, so they
+// are stored with rate counted out of the sojourn: to keep the generator
+// well-formed we drop them and document the fact.
+func (c *CTMC) Add(src, dst int, rate float64, label string) error {
+	if src < 0 || src >= c.numStates || dst < 0 || dst >= c.numStates {
+		return fmt.Errorf("markov: transition (%d,%d) out of range", src, dst)
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("markov: invalid rate %v", rate)
+	}
+	if src == dst {
+		return nil
+	}
+	idx := int32(len(c.trans))
+	c.trans = append(c.trans, Transition{src, dst, rate, label})
+	c.out[src] = append(c.out[src], idx)
+	c.exitRate[src] += rate
+	return nil
+}
+
+// MustAdd is Add that panics on error, for hand-built models.
+func (c *CTMC) MustAdd(src, dst int, rate float64, label string) {
+	if err := c.Add(src, dst, rate, label); err != nil {
+		panic(err)
+	}
+}
+
+// ExitRate returns the total outgoing rate of a state (0 for absorbing).
+func (c *CTMC) ExitRate(s int) float64 { return c.exitRate[s] }
+
+// IsAbsorbing reports whether the state has no outgoing transitions.
+func (c *CTMC) IsAbsorbing(s int) bool { return len(c.out[s]) == 0 }
+
+// EachFrom calls f for every transition leaving s.
+func (c *CTMC) EachFrom(s int, f func(Transition)) {
+	for _, idx := range c.out[s] {
+		f(c.trans[idx])
+	}
+}
+
+// EachTransition calls f for every transition.
+func (c *CTMC) EachTransition(f func(Transition)) {
+	for _, t := range c.trans {
+		f(t)
+	}
+}
+
+// MaxExitRate returns the largest exit rate (the uniformization constant
+// base).
+func (c *CTMC) MaxExitRate() float64 {
+	max := 0.0
+	for _, r := range c.exitRate {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// bsccs returns the bottom strongly connected components (those with no
+// transition leaving the component), each sorted ascending.
+func (c *CTMC) bsccs() [][]int {
+	// Tarjan (iterative) over the transition graph.
+	const unvisited = -1
+	n := c.numStates
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n) // state -> component id
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var (
+		stack   []int
+		counter int
+		comps   [][]int
+	)
+	type frame struct {
+		s, edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{root, 0}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			advanced := false
+			for f.edge < len(c.out[f.s]) {
+				t := c.trans[c.out[f.s][f.edge]]
+				f.edge++
+				w := t.Dst
+				if index[w] == unvisited {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.s] {
+					low[f.s] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			s := f.s
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[s] < low[p.s] {
+					low[p.s] = low[s]
+				}
+			}
+			if low[s] == index[s] {
+				id := len(comps)
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					members = append(members, w)
+					if w == s {
+						break
+					}
+				}
+				sort.Ints(members)
+				comps = append(comps, members)
+			}
+		}
+	}
+	// A component is bottom iff no member has a transition out of it.
+	var bsccs [][]int
+	for id, members := range comps {
+		bottom := true
+		for _, s := range members {
+			c.EachFrom(s, func(t Transition) {
+				if comp[t.Dst] != id {
+					bottom = false
+				}
+			})
+			if !bottom {
+				break
+			}
+		}
+		if bottom {
+			bsccs = append(bsccs, members)
+		}
+	}
+	return bsccs
+}

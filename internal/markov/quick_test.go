@@ -1,0 +1,169 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randChain generates a random irreducible CTMC (ring backbone plus
+// random chords).
+type randChain struct{ C *CTMC }
+
+func (randChain) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(14)
+	c := NewCTMC(n)
+	for i := 0; i < n; i++ {
+		c.MustAdd(i, (i+1)%n, 0.2+4*rng.Float64(), "ring")
+	}
+	extra := rng.Intn(2 * n)
+	for e := 0; e < extra; e++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src != dst {
+			c.MustAdd(src, dst, 0.2+4*rng.Float64(), "chord")
+		}
+	}
+	c.SetInitial(rng.Intn(n))
+	return reflect.ValueOf(randChain{c})
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+}
+
+func TestQuickSteadyStateIsDistribution(t *testing.T) {
+	prop := func(r randChain) bool {
+		pi, err := r.C.SteadyState(SolveOptions{})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-8
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGlobalBalance(t *testing.T) {
+	prop := func(r randChain) bool {
+		pi, err := r.C.SteadyState(SolveOptions{})
+		if err != nil {
+			return false
+		}
+		for j := 0; j < r.C.NumStates(); j++ {
+			in := 0.0
+			r.C.EachTransition(func(tr Transition) {
+				if tr.Dst == j {
+					in += pi[tr.Src] * tr.Rate
+				}
+			})
+			if math.Abs(pi[j]*r.C.ExitRate(j)-in) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransientIsDistribution(t *testing.T) {
+	prop := func(r randChain, tRaw uint8) bool {
+		tm := float64(tRaw) / 16
+		pi, err := r.C.Transient(tm, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-8
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransientConvergence(t *testing.T) {
+	prop := func(r randChain) bool {
+		pi, err := r.C.SteadyState(SolveOptions{})
+		if err != nil {
+			return false
+		}
+		// Mixing time scales with 1/minRate; use a generous horizon.
+		pt, err := r.C.Transient(500/r.C.MaxExitRate()*float64(r.C.NumStates()), SolveOptions{})
+		if err != nil {
+			return false
+		}
+		for i := range pi {
+			if math.Abs(pi[i]-pt[i]) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickThroughputConservation(t *testing.T) {
+	// Total throughput of all transitions equals sum_s pi_s * exit(s).
+	prop := func(r randChain) bool {
+		pi, err := r.C.SteadyState(SolveOptions{})
+		if err != nil {
+			return false
+		}
+		all := r.C.Throughput(pi, func(string) bool { return true })
+		expect := 0.0
+		for s := 0; s < r.C.NumStates(); s++ {
+			expect += pi[s] * r.C.ExitRate(s)
+		}
+		return math.Abs(all-expect) < 1e-8
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAbsorptionTimePositive(t *testing.T) {
+	// On a random chain with one state made absorbing-target, hitting
+	// times are positive for non-target states (target reachable since
+	// the ring backbone is strongly connected).
+	prop := func(r randChain, which uint8) bool {
+		target := int(which) % r.C.NumStates()
+		h, err := r.C.ExpectedTimeToAbsorption([]int{target}, SolveOptions{})
+		if err != nil {
+			return false
+		}
+		for s, v := range h {
+			if s == target {
+				if v != 0 {
+					return false
+				}
+				continue
+			}
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,314 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveOptions tunes the iterative solvers.
+type SolveOptions struct {
+	// Tolerance is the convergence threshold on the max-norm of the
+	// iterate difference (default 1e-12).
+	Tolerance float64
+	// MaxIterations bounds the iteration count (default 1_000_000).
+	MaxIterations int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1_000_000
+	}
+	return o
+}
+
+// ConvergenceError reports that an iterative solver did not converge.
+type ConvergenceError struct {
+	Iterations int
+	Residual   float64
+}
+
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("markov: no convergence after %d iterations (residual %g)", e.Iterations, e.Residual)
+}
+
+// SteadyState computes the limiting distribution of the chain started in
+// the initial state. Transient states receive probability zero; when the
+// chain has several bottom strongly connected components (BSCCs), their
+// stationary distributions are weighted by the probability of absorption
+// into each BSCC from the initial state.
+func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := c.numStates
+	if n == 0 {
+		return nil, fmt.Errorf("markov: empty chain")
+	}
+	bsccs := c.bsccs()
+	if len(bsccs) == 0 {
+		return nil, fmt.Errorf("markov: no bottom component (internal error)")
+	}
+
+	pi := make([]float64, n)
+	if len(bsccs) == 1 {
+		local, err := c.stationaryWithin(bsccs[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range bsccs[0] {
+			pi[s] = local[i]
+		}
+		return pi, nil
+	}
+
+	// Multiple BSCCs: weight each stationary distribution by the
+	// absorption probability from the initial state.
+	weights, err := c.absorptionProbabilities(bsccs, opts)
+	if err != nil {
+		return nil, err
+	}
+	for bi, members := range bsccs {
+		if weights[bi] == 0 {
+			continue
+		}
+		local, err := c.stationaryWithin(members, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range members {
+			pi[s] += weights[bi] * local[i]
+		}
+	}
+	return pi, nil
+}
+
+// stationaryWithin solves the stationary distribution restricted to one
+// BSCC using Gauss–Seidel on the balance equations
+//
+//	pi_j * E_j = sum_i pi_i * rate(i->j),
+//
+// renormalizing every sweep. An absorbing singleton gets probability 1.
+func (c *CTMC) stationaryWithin(members []int, opts SolveOptions) ([]float64, error) {
+	m := len(members)
+	if m == 1 {
+		return []float64{1}, nil
+	}
+	indexOf := make(map[int]int, m)
+	for i, s := range members {
+		indexOf[s] = i
+	}
+	// Incoming transitions restricted to the component.
+	type inEdge struct {
+		from int // local index
+		rate float64
+	}
+	in := make([][]inEdge, m)
+	exit := make([]float64, m)
+	for i, s := range members {
+		exit[i] = c.exitRate[s]
+		c.EachFrom(s, func(t Transition) {
+			j, ok := indexOf[t.Dst]
+			if !ok {
+				return // cannot happen in a BSCC, defensive
+			}
+			in[j] = append(in[j], inEdge{i, t.Rate})
+		})
+	}
+	pi := make([]float64, m)
+	for i := range pi {
+		pi[i] = 1 / float64(m)
+	}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < m; j++ {
+			if exit[j] == 0 {
+				continue // absorbing state inside a BSCC of size>1 is impossible
+			}
+			sum := 0.0
+			for _, e := range in[j] {
+				sum += pi[e.from] * e.rate
+			}
+			next := sum / exit[j]
+			if d := math.Abs(next - pi[j]); d > maxDelta {
+				maxDelta = d
+			}
+			pi[j] = next
+		}
+		// Normalize.
+		total := 0.0
+		for _, p := range pi {
+			total += p
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("markov: stationary iteration degenerated")
+		}
+		for j := range pi {
+			pi[j] /= total
+		}
+		if maxDelta < opts.Tolerance {
+			return pi, nil
+		}
+	}
+	return nil, &ConvergenceError{opts.MaxIterations, math.NaN()}
+}
+
+// absorptionProbabilities computes, for each BSCC, the probability that
+// the chain started in the initial state is absorbed into it, by solving
+// the linear system over transient states with Gauss–Seidel on the
+// embedded jump chain.
+func (c *CTMC) absorptionProbabilities(bsccs [][]int, opts SolveOptions) ([]float64, error) {
+	n := c.numStates
+	inBSCC := make([]int, n)
+	for i := range inBSCC {
+		inBSCC[i] = -1
+	}
+	for bi, members := range bsccs {
+		for _, s := range members {
+			inBSCC[s] = bi
+		}
+	}
+	weights := make([]float64, len(bsccs))
+	if b := inBSCC[c.initial]; b >= 0 {
+		weights[b] = 1
+		return weights, nil
+	}
+	// h[s][bi]: absorption probability from transient s — solve one
+	// system per BSCC (k-1 systems suffice, but clarity wins).
+	for bi := range bsccs {
+		h := make([]float64, n)
+		for s := 0; s < n; s++ {
+			if inBSCC[s] == bi {
+				h[s] = 1
+			}
+		}
+		for iter := 0; iter < opts.MaxIterations; iter++ {
+			maxDelta := 0.0
+			for s := 0; s < n; s++ {
+				if inBSCC[s] >= 0 {
+					continue
+				}
+				sum := 0.0
+				c.EachFrom(s, func(t Transition) {
+					sum += t.Rate * h[t.Dst]
+				})
+				next := sum / c.exitRate[s] // transient states have exits
+				if d := math.Abs(next - h[s]); d > maxDelta {
+					maxDelta = d
+				}
+				h[s] = next
+			}
+			if maxDelta < opts.Tolerance {
+				break
+			}
+			if iter == opts.MaxIterations-1 {
+				return nil, &ConvergenceError{opts.MaxIterations, maxDelta}
+			}
+		}
+		weights[bi] = h[c.initial]
+	}
+	// Normalize tiny numerical drift.
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	return weights, nil
+}
+
+// Throughput returns the steady-state occurrence rate of transitions whose
+// label satisfies pred: sum over matching transitions of pi(src)*rate.
+func (c *CTMC) Throughput(pi []float64, pred func(label string) bool) float64 {
+	total := 0.0
+	for _, t := range c.trans {
+		if pred(t.Label) {
+			total += pi[t.Src] * t.Rate
+		}
+	}
+	return total
+}
+
+// ExpectedReward returns the steady-state expectation of a state reward
+// vector.
+func ExpectedReward(pi, reward []float64) float64 {
+	total := 0.0
+	for i, p := range pi {
+		total += p * reward[i]
+	}
+	return total
+}
+
+// ExpectedTimeToAbsorption returns, for every state, the expected time
+// until one of the target states is first reached (0 on targets). It
+// returns an error if some state cannot reach a target (infinite
+// expectation) — callers should trim to relevant states first.
+func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := c.numStates
+	isTarget := make([]bool, n)
+	for _, s := range targets {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("markov: target %d out of range", s)
+		}
+		isTarget[s] = true
+	}
+	// Reachability check (backwards from targets).
+	canReach := make([]bool, n)
+	rin := make([][]int, n)
+	for i, t := range c.trans {
+		rin[t.Dst] = append(rin[t.Dst], i)
+	}
+	var stack []int
+	for s := range isTarget {
+		if isTarget[s] {
+			canReach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range rin[s] {
+			src := c.trans[ti].Src
+			if !canReach[src] {
+				canReach[src] = true
+				stack = append(stack, src)
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		if !canReach[s] {
+			return nil, fmt.Errorf("markov: state %d cannot reach any target (infinite expected time)", s)
+		}
+		if !isTarget[s] && c.exitRate[s] == 0 {
+			return nil, fmt.Errorf("markov: state %d is absorbing but not a target", s)
+		}
+	}
+
+	h := make([]float64, n)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		maxDelta := 0.0
+		for s := 0; s < n; s++ {
+			if isTarget[s] {
+				continue
+			}
+			sum := 0.0
+			c.EachFrom(s, func(t Transition) {
+				sum += t.Rate * h[t.Dst]
+			})
+			next := (1 + sum) / c.exitRate[s]
+			if d := math.Abs(next - h[s]); d > maxDelta {
+				maxDelta = d
+			}
+			h[s] = next
+		}
+		if maxDelta < opts.Tolerance {
+			return h, nil
+		}
+	}
+	return nil, &ConvergenceError{opts.MaxIterations, math.NaN()}
+}

@@ -1,0 +1,161 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Transient computes the state distribution at time t, starting from the
+// initial state, by uniformization:
+//
+//	pi(t) = sum_k Poisson(L*t; k) * pi0 * P^k,  P = I + Q/L,
+//
+// with L slightly above the maximal exit rate. The Poisson series is
+// truncated adaptively once the accumulated mass exceeds 1 - epsilon
+// (epsilon = 1e-12); for large L*t the summation starts near the Poisson
+// mode using logarithmic weights, in the spirit of Fox–Glynn.
+func (c *CTMC) Transient(t float64, opts SolveOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := c.numStates
+	if n == 0 {
+		return nil, fmt.Errorf("markov: empty chain")
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("markov: invalid time %v", t)
+	}
+	pi := make([]float64, n)
+	pi[c.initial] = 1
+	if t == 0 || len(c.trans) == 0 {
+		return pi, nil
+	}
+
+	lambda := c.MaxExitRate() * 1.02
+	q := lambda * t
+	const eps = 1e-12
+
+	// Poisson weights via the stable recurrence from the mode.
+	weights, k0 := poissonWindow(q, eps)
+
+	// result accumulates weights[k] * pi0 P^k.
+	result := make([]float64, n)
+	cur := pi
+	next := make([]float64, n)
+	maxK := k0 + len(weights) - 1
+	for k := 0; k <= maxK; k++ {
+		if k >= k0 {
+			w := weights[k-k0]
+			for i := range result {
+				result[i] += w * cur[i]
+			}
+		}
+		if k == maxK {
+			break
+		}
+		// next = cur * P with P = I + Q/lambda.
+		for i := range next {
+			next[i] = cur[i] * (1 - c.exitRate[i]/lambda)
+		}
+		for _, tr := range c.trans {
+			next[tr.Dst] += cur[tr.Src] * tr.Rate / lambda
+		}
+		cur, next = next, cur
+	}
+	// Normalize the truncation error.
+	total := 0.0
+	for _, p := range result {
+		total += p
+	}
+	if total > 0 {
+		for i := range result {
+			result[i] /= total
+		}
+	}
+	return result, nil
+}
+
+// poissonWindow returns normalized Poisson(q) weights for the index window
+// [k0, k0+len-1] covering at least 1-eps of the mass.
+func poissonWindow(q float64, eps float64) ([]float64, int) {
+	mode := int(math.Floor(q))
+	// log pmf at the mode via Stirling-stable lgamma.
+	logPmf := func(k int) float64 {
+		lg, _ := math.Lgamma(float64(k + 1))
+		return -q + float64(k)*math.Log(q) - lg
+	}
+	// Expand left and right from the mode until the collected mass
+	// reaches 1-eps (in normalized terms the raw pmf sums to <=1).
+	lo, hi := mode, mode
+	vals := map[int]float64{mode: math.Exp(logPmf(mode))}
+	mass := vals[mode]
+	for mass < 1-eps {
+		grew := false
+		if lo > 0 {
+			lo--
+			v := math.Exp(logPmf(lo))
+			vals[lo] = v
+			mass += v
+			grew = true
+		}
+		hi++
+		v := math.Exp(logPmf(hi))
+		vals[hi] = v
+		mass += v
+		grew = true
+		if !grew || hi-lo > 10_000_000 {
+			break
+		}
+		// Stop growing a side once its tail is negligible.
+		if vals[lo] < eps*1e-3 && vals[hi] < eps*1e-3 && mass > 1-eps*10 {
+			break
+		}
+	}
+	weights := make([]float64, hi-lo+1)
+	total := 0.0
+	for k := lo; k <= hi; k++ {
+		weights[k-lo] = vals[k]
+		total += vals[k]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights, lo
+}
+
+// Simulate runs a discrete-event simulation of the chain for the given
+// total time and returns the empirical fraction of time spent in each
+// state. Used in tests to cross-validate the numerical solvers.
+func (c *CTMC) Simulate(rng *rand.Rand, horizon float64) []float64 {
+	occ := make([]float64, c.numStates)
+	s := c.initial
+	now := 0.0
+	for now < horizon {
+		exit := c.exitRate[s]
+		if exit == 0 {
+			occ[s] += horizon - now
+			break
+		}
+		dwell := rng.ExpFloat64() / exit
+		if now+dwell > horizon {
+			occ[s] += horizon - now
+			break
+		}
+		occ[s] += dwell
+		now += dwell
+		// Pick the next transition proportionally to its rate.
+		u := rng.Float64() * exit
+		acc := 0.0
+		next := s
+		c.EachFrom(s, func(t Transition) {
+			if acc <= u && u < acc+t.Rate {
+				next = t.Dst
+			}
+			acc += t.Rate
+		})
+		s = next
+	}
+	for i := range occ {
+		occ[i] /= horizon
+	}
+	return occ
+}

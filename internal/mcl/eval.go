@@ -1,0 +1,245 @@
+package mcl
+
+import (
+	"fmt"
+
+	"multival/internal/lts"
+)
+
+// StateSet is a characteristic vector over the states of an LTS.
+type StateSet []bool
+
+// Count returns the number of states in the set.
+func (s StateSet) Count() int {
+	n := 0
+	for _, b := range s {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (s StateSet) equal(t StateSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sat computes the set of states of l satisfying f. It returns an error if
+// f is not well-formed: free variables, or a fixpoint variable under an odd
+// number of negations (which would break monotonicity).
+func Sat(l *lts.LTS, f Formula) (StateSet, error) {
+	if err := checkWellFormed(f, map[string]bool{}, true); err != nil {
+		return nil, err
+	}
+	env := map[string]StateSet{}
+	return eval(l, f, env), nil
+}
+
+// Check reports whether the initial state of l satisfies f.
+func Check(l *lts.LTS, f Formula) (bool, error) {
+	set, err := Sat(l, f)
+	if err != nil {
+		return false, err
+	}
+	if l.NumStates() == 0 {
+		return false, fmt.Errorf("mcl: empty LTS")
+	}
+	return set[l.Initial()], nil
+}
+
+// MustCheck is Check that panics on error; for statically known formulas.
+func MustCheck(l *lts.LTS, f Formula) bool {
+	ok, err := Check(l, f)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// checkWellFormed verifies that every variable is bound and occurs
+// positively *relative to its binder*: the negation parity at each
+// occurrence must equal the parity at the binding fixpoint (this is the
+// monotonicity condition; a whole closed fixpoint under `not` is fine).
+// The bound map records the parity at each variable's binding point.
+func checkWellFormed(f Formula, bound map[string]bool, positive bool) error {
+	switch g := f.(type) {
+	case fTrue, fFalse:
+		return nil
+	case fNot:
+		return checkWellFormed(g.f, bound, !positive)
+	case fAnd:
+		if err := checkWellFormed(g.a, bound, positive); err != nil {
+			return err
+		}
+		return checkWellFormed(g.b, bound, positive)
+	case fOr:
+		if err := checkWellFormed(g.a, bound, positive); err != nil {
+			return err
+		}
+		return checkWellFormed(g.b, bound, positive)
+	case fDia:
+		return checkWellFormed(g.f, bound, positive)
+	case fBox:
+		return checkWellFormed(g.f, bound, positive)
+	case fVar:
+		binderParity, ok := bound[g.name]
+		if !ok {
+			return fmt.Errorf("mcl: free variable %s", g.name)
+		}
+		if positive != binderParity {
+			return fmt.Errorf("mcl: variable %s occurs negatively (relative to its binder)", g.name)
+		}
+		return nil
+	case fMu:
+		return checkFixpoint(g.name, g.body, bound, positive)
+	case fNu:
+		return checkFixpoint(g.name, g.body, bound, positive)
+	default:
+		return fmt.Errorf("mcl: unknown formula %T", f)
+	}
+}
+
+func checkFixpoint(name string, body Formula, bound map[string]bool, positive bool) error {
+	prev, had := bound[name]
+	bound[name] = positive // record the parity at the binding point
+	err := checkWellFormed(body, bound, positive)
+	if had {
+		bound[name] = prev
+	} else {
+		delete(bound, name)
+	}
+	return err
+}
+
+// eval computes the denotation of f under the environment env. Negation of
+// subformulas containing fixpoint variables is rejected by checkWellFormed,
+// so complementation here is sound.
+func eval(l *lts.LTS, f Formula, env map[string]StateSet) StateSet {
+	n := l.NumStates()
+	switch g := f.(type) {
+	case fTrue:
+		set := make(StateSet, n)
+		for i := range set {
+			set[i] = true
+		}
+		return set
+	case fFalse:
+		return make(StateSet, n)
+	case fNot:
+		sub := eval(l, g.f, env)
+		out := make(StateSet, n)
+		for i := range out {
+			out[i] = !sub[i]
+		}
+		return out
+	case fAnd:
+		a := eval(l, g.a, env)
+		b := eval(l, g.b, env)
+		out := make(StateSet, n)
+		for i := range out {
+			out[i] = a[i] && b[i]
+		}
+		return out
+	case fOr:
+		a := eval(l, g.a, env)
+		b := eval(l, g.b, env)
+		out := make(StateSet, n)
+		for i := range out {
+			out[i] = a[i] || b[i]
+		}
+		return out
+	case fDia:
+		sub := eval(l, g.f, env)
+		out := make(StateSet, n)
+		l.EachTransition(func(t lts.Transition) {
+			if !out[t.Src] && sub[t.Dst] && g.act.Matches(l.LabelName(t.Label)) {
+				out[t.Src] = true
+			}
+		})
+		return out
+	case fBox:
+		sub := eval(l, g.f, env)
+		out := make(StateSet, n)
+		for i := range out {
+			out[i] = true
+		}
+		l.EachTransition(func(t lts.Transition) {
+			if out[t.Src] && !sub[t.Dst] && g.act.Matches(l.LabelName(t.Label)) {
+				out[t.Src] = false
+			}
+		})
+		return out
+	case fVar:
+		set, ok := env[g.name]
+		if !ok {
+			panic("mcl: unbound variable " + g.name) // prevented by checkWellFormed
+		}
+		return set
+	case fMu:
+		cur := make(StateSet, n) // start from bottom
+		return fixpoint(l, g.name, g.body, env, cur)
+	case fNu:
+		cur := make(StateSet, n) // start from top
+		for i := range cur {
+			cur[i] = true
+		}
+		return fixpoint(l, g.name, g.body, env, cur)
+	default:
+		panic(fmt.Sprintf("mcl: unknown formula %T", f))
+	}
+}
+
+func fixpoint(l *lts.LTS, name string, body Formula, env map[string]StateSet, cur StateSet) StateSet {
+	saved, had := env[name]
+	defer func() {
+		if had {
+			env[name] = saved
+		} else {
+			delete(env, name)
+		}
+	}()
+	for {
+		env[name] = cur
+		next := eval(l, body, env)
+		if next.equal(cur) {
+			return next
+		}
+		cur = next
+	}
+}
+
+// Result bundles the outcome of a verification run for reporting.
+type Result struct {
+	Formula   string
+	Holds     bool
+	SatCount  int // number of satisfying states
+	NumStates int
+	Witness   []string // label trace for reachability-style diagnostics, if computed
+}
+
+// Verify evaluates f on l and assembles a Result. If f is (syntactically) a
+// reachability property built by Reachable or ReachableAction, a shortest
+// witness trace is attached when the property holds.
+func Verify(l *lts.LTS, f Formula) (Result, error) {
+	set, err := Sat(l, f)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Formula:   f.String(),
+		Holds:     l.NumStates() > 0 && set[l.Initial()],
+		SatCount:  set.Count(),
+		NumStates: l.NumStates(),
+	}
+	if res.Holds {
+		if w, ok := reachabilityWitness(l, f); ok {
+			res.Witness = w
+		}
+	}
+	return res, nil
+}

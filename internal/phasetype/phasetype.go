@@ -1,0 +1,424 @@
+// Package phasetype implements phase-type (PH) distributions: absorption
+// times of small continuous-time Markov chains. In the Multival
+// performance flow every delay of the functional model is instantiated by
+// such a distribution (step 3 of the decoration process described in the
+// paper), and fixed-time delays are approximated by Erlang distributions,
+// exposing the space–accuracy trade-off discussed in the paper's
+// conclusion.
+package phasetype
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution is a phase-type distribution given by the initial
+// distribution Alpha over transient phases, the inter-phase rate matrix
+// Rates (Rates[i][j] is the rate from phase i to phase j, i != j), and the
+// absorption rates Exit.
+type Distribution struct {
+	Name  string
+	Alpha []float64
+	Rates [][]float64
+	Exit  []float64
+}
+
+// NumPhases returns the number of transient phases.
+func (d *Distribution) NumPhases() int { return len(d.Alpha) }
+
+// Validate checks structural consistency: matching dimensions,
+// non-negative rates, Alpha summing to one, and every phase able to reach
+// absorption.
+func (d *Distribution) Validate() error {
+	k := len(d.Alpha)
+	if k == 0 {
+		return fmt.Errorf("phasetype: no phases")
+	}
+	if len(d.Rates) != k || len(d.Exit) != k {
+		return fmt.Errorf("phasetype: dimension mismatch")
+	}
+	sum := 0.0
+	for _, a := range d.Alpha {
+		if a < 0 || math.IsNaN(a) {
+			return fmt.Errorf("phasetype: invalid initial probability %v", a)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("phasetype: initial distribution sums to %v", sum)
+	}
+	for i := 0; i < k; i++ {
+		if len(d.Rates[i]) != k {
+			return fmt.Errorf("phasetype: rate row %d has wrong length", i)
+		}
+		if d.Exit[i] < 0 {
+			return fmt.Errorf("phasetype: negative exit rate at phase %d", i)
+		}
+		for j := 0; j < k; j++ {
+			if i == j && d.Rates[i][j] != 0 {
+				return fmt.Errorf("phasetype: nonzero diagonal at %d", i)
+			}
+			if d.Rates[i][j] < 0 {
+				return fmt.Errorf("phasetype: negative rate %d->%d", i, j)
+			}
+		}
+	}
+	// Absorption reachable from every phase with positive alpha-mass
+	// support (in fact require from every phase, to catch dead phases).
+	reach := make([]bool, k)
+	for i := 0; i < k; i++ {
+		if d.Exit[i] > 0 {
+			reach[i] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < k; i++ {
+			if reach[i] {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if d.Rates[i][j] > 0 && reach[j] {
+					reach[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i, ok := range reach {
+		if !ok {
+			return fmt.Errorf("phasetype: phase %d cannot reach absorption", i)
+		}
+	}
+	return nil
+}
+
+// EntryPhase returns the index of the unique entry phase if Alpha is a
+// unit vector, and -1 otherwise. Delay processes in the IMC flow require a
+// deterministic entry.
+func (d *Distribution) EntryPhase() int {
+	entry := -1
+	for i, a := range d.Alpha {
+		switch {
+		case a == 0:
+		case a == 1 && entry < 0:
+			entry = i
+		default:
+			return -1
+		}
+	}
+	return entry
+}
+
+// ---- constructors ----
+
+// Exp is the exponential distribution with the given rate.
+func Exp(rate float64) *Distribution {
+	return &Distribution{
+		Name:  fmt.Sprintf("exp(%g)", rate),
+		Alpha: []float64{1},
+		Rates: [][]float64{{0}},
+		Exit:  []float64{rate},
+	}
+}
+
+// Erlang is the k-phase Erlang distribution with per-phase rate `rate`
+// (mean k/rate, squared coefficient of variation 1/k).
+func Erlang(k int, rate float64) *Distribution {
+	if k < 1 {
+		panic("phasetype: Erlang needs k >= 1")
+	}
+	d := &Distribution{
+		Name:  fmt.Sprintf("erlang(%d,%g)", k, rate),
+		Alpha: make([]float64, k),
+		Rates: make([][]float64, k),
+		Exit:  make([]float64, k),
+	}
+	d.Alpha[0] = 1
+	for i := 0; i < k; i++ {
+		d.Rates[i] = make([]float64, k)
+		if i < k-1 {
+			d.Rates[i][i+1] = rate
+		} else {
+			d.Exit[i] = rate
+		}
+	}
+	return d
+}
+
+// Hypo is the hypoexponential distribution: a series of exponential
+// phases with the given (possibly distinct) rates.
+func Hypo(rates ...float64) *Distribution {
+	k := len(rates)
+	if k == 0 {
+		panic("phasetype: Hypo needs at least one rate")
+	}
+	d := &Distribution{
+		Name:  fmt.Sprintf("hypo%v", rates),
+		Alpha: make([]float64, k),
+		Rates: make([][]float64, k),
+		Exit:  make([]float64, k),
+	}
+	d.Alpha[0] = 1
+	for i := range rates {
+		d.Rates[i] = make([]float64, k)
+		if i < k-1 {
+			d.Rates[i][i+1] = rates[i]
+		} else {
+			d.Exit[i] = rates[i]
+		}
+	}
+	return d
+}
+
+// HyperExp is the hyperexponential distribution: with probability probs[i]
+// the delay is exponential with rates[i]. Its Alpha has several entries,
+// so it cannot be used directly as an IMC delay process (use Coxian
+// moment matching instead).
+func HyperExp(probs, rates []float64) (*Distribution, error) {
+	if len(probs) != len(rates) || len(probs) == 0 {
+		return nil, fmt.Errorf("phasetype: HyperExp needs matching nonempty probs/rates")
+	}
+	k := len(probs)
+	d := &Distribution{
+		Name:  fmt.Sprintf("hyper%v%v", probs, rates),
+		Alpha: append([]float64(nil), probs...),
+		Rates: make([][]float64, k),
+		Exit:  append([]float64(nil), rates...),
+	}
+	for i := range d.Rates {
+		d.Rates[i] = make([]float64, k)
+	}
+	return d, d.Validate()
+}
+
+// Coxian builds a Coxian distribution: phase i exits to absorption with
+// rate rates[i]*(1-conts[i]) and continues to phase i+1 with rate
+// rates[i]*conts[i]; conts[k-1] is ignored (forced to 0).
+func Coxian(rates, conts []float64) (*Distribution, error) {
+	k := len(rates)
+	if k == 0 || len(conts) != k {
+		return nil, fmt.Errorf("phasetype: Coxian needs matching nonempty rates/conts")
+	}
+	d := &Distribution{
+		Name:  fmt.Sprintf("cox%v%v", rates, conts),
+		Alpha: make([]float64, k),
+		Rates: make([][]float64, k),
+		Exit:  make([]float64, k),
+	}
+	d.Alpha[0] = 1
+	for i := 0; i < k; i++ {
+		d.Rates[i] = make([]float64, k)
+		p := conts[i]
+		if i == k-1 {
+			p = 0
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("phasetype: continuation probability %v out of [0,1]", p)
+		}
+		if i < k-1 {
+			d.Rates[i][i+1] = rates[i] * p
+		}
+		d.Exit[i] = rates[i] * (1 - p)
+	}
+	return d, d.Validate()
+}
+
+// ---- moments ----
+
+// Moments returns the first two moments (E[T], E[T^2]) by solving the
+// standard linear systems m1 = -S^-1 1 and m2 = 2 S^-2 1 via Gauss-Seidel
+// on the small phase matrix (dense direct elimination, the matrices are
+// tiny).
+func (d *Distribution) Moments() (m1, m2 float64, err error) {
+	if err := d.Validate(); err != nil {
+		return 0, 0, err
+	}
+	k := d.NumPhases()
+	// h1[i] = expected absorption time from phase i:
+	//   h1 = (1 + sum_j R[i][j] h1[j]) / totalRate(i)
+	total := make([]float64, k)
+	for i := 0; i < k; i++ {
+		total[i] = d.Exit[i]
+		for j := 0; j < k; j++ {
+			total[i] += d.Rates[i][j]
+		}
+		if total[i] <= 0 {
+			return 0, 0, fmt.Errorf("phasetype: phase %d has no outgoing rate", i)
+		}
+	}
+	h1 := solveHitting(d, total, func(i int, h []float64) float64 {
+		s := 1.0
+		for j := 0; j < k; j++ {
+			s += d.Rates[i][j] * h[j]
+		}
+		return s / total[i]
+	})
+	// Second moment: g[i] = E[T_i^2] satisfies
+	//   g_i = 2/total_i * h1_i ... use the recursive formula
+	//   E[T^2 from i] = 2/total_i^2 + 2*h1rest/total_i + sum_j P_ij E[T^2 from j]
+	// Derive via conditioning on the first jump:
+	//   T_i = X_i + T_next; E[T_i^2] = E[X^2] + 2E[X]E[T_next] + E[T_next^2]
+	//   E[X^2] = 2/total_i^2, E[X] = 1/total_i.
+	g := solveHitting(d, total, func(i int, g []float64) float64 {
+		eNext1 := 0.0 // E[T_next]
+		eNext2 := 0.0 // E[T_next^2]
+		for j := 0; j < k; j++ {
+			p := d.Rates[i][j] / total[i]
+			eNext1 += p * h1[j]
+			eNext2 += p * g[j]
+		}
+		return 2/(total[i]*total[i]) + 2*eNext1/total[i] + eNext2
+	})
+	for i := 0; i < k; i++ {
+		m1 += d.Alpha[i] * h1[i]
+		m2 += d.Alpha[i] * g[i]
+	}
+	return m1, m2, nil
+}
+
+// solveHitting iterates a Gauss–Seidel update until convergence; the
+// phase graphs are tiny and substochastic, so convergence is fast.
+func solveHitting(d *Distribution, total []float64, update func(i int, h []float64) float64) []float64 {
+	k := d.NumPhases()
+	h := make([]float64, k)
+	for iter := 0; iter < 1_000_000; iter++ {
+		maxDelta := 0.0
+		for i := 0; i < k; i++ {
+			next := update(i, h)
+			if delta := math.Abs(next - h[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			h[i] = next
+		}
+		if maxDelta < 1e-14 {
+			break
+		}
+	}
+	return h
+}
+
+// Mean returns E[T].
+func (d *Distribution) Mean() float64 {
+	m1, _, err := d.Moments()
+	if err != nil {
+		return math.NaN()
+	}
+	return m1
+}
+
+// Variance returns Var[T].
+func (d *Distribution) Variance() float64 {
+	m1, m2, err := d.Moments()
+	if err != nil {
+		return math.NaN()
+	}
+	return m2 - m1*m1
+}
+
+// SCV returns the squared coefficient of variation Var/Mean^2.
+func (d *Distribution) SCV() float64 {
+	m1, m2, err := d.Moments()
+	if err != nil || m1 == 0 {
+		return math.NaN()
+	}
+	return (m2 - m1*m1) / (m1 * m1)
+}
+
+// CDF evaluates P(T <= t) by uniformization over the phase chain plus an
+// absorbing state.
+func (d *Distribution) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	k := d.NumPhases()
+	// Uniformization constant.
+	lambda := 0.0
+	total := make([]float64, k)
+	for i := 0; i < k; i++ {
+		total[i] = d.Exit[i]
+		for j := 0; j < k; j++ {
+			total[i] += d.Rates[i][j]
+		}
+		if total[i] > lambda {
+			lambda = total[i]
+		}
+	}
+	lambda *= 1.02
+	q := lambda * t
+	cur := append([]float64(nil), d.Alpha...)
+	absorbed := 0.0
+	result := 0.0
+	// Poisson weights forward; for moderate q this is stable. For large
+	// q fall back to windowed weights.
+	weights, k0 := poissonWeights(q)
+	next := make([]float64, k)
+	maxK := k0 + len(weights) - 1
+	for step := 0; step <= maxK; step++ {
+		if step >= k0 {
+			result += weights[step-k0] * absorbed
+		}
+		if step == maxK {
+			break
+		}
+		for i := 0; i < k; i++ {
+			next[i] = cur[i] * (1 - total[i]/lambda)
+		}
+		for i := 0; i < k; i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if d.Rates[i][j] > 0 {
+					next[j] += cur[i] * d.Rates[i][j] / lambda
+				}
+			}
+			absorbed += cur[i] * d.Exit[i] / lambda
+		}
+		copy(cur, next)
+	}
+	if result < 0 {
+		return 0
+	}
+	if result > 1 {
+		return 1
+	}
+	return result
+}
+
+func poissonWeights(q float64) ([]float64, int) {
+	mode := int(math.Floor(q))
+	logPmf := func(kk int) float64 {
+		lg, _ := math.Lgamma(float64(kk + 1))
+		return -q + float64(kk)*math.Log(q) - lg
+	}
+	if q == 0 {
+		return []float64{1}, 0
+	}
+	lo, hi := mode, mode
+	vals := map[int]float64{mode: math.Exp(logPmf(mode))}
+	mass := vals[mode]
+	for mass < 1-1e-12 && hi-lo < 4_000_000 {
+		if lo > 0 {
+			lo--
+			v := math.Exp(logPmf(lo))
+			vals[lo] = v
+			mass += v
+		}
+		hi++
+		v := math.Exp(logPmf(hi))
+		vals[hi] = v
+		mass += v
+	}
+	w := make([]float64, hi-lo+1)
+	total := 0.0
+	for kk := lo; kk <= hi; kk++ {
+		w[kk-lo] = vals[kk]
+		total += vals[kk]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w, lo
+}

@@ -1,0 +1,234 @@
+package phasetype
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g", what, got, want)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	d := Exp(2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), 0.5, 1e-10, "mean")
+	almost(t, d.Variance(), 0.25, 1e-10, "variance")
+	almost(t, d.SCV(), 1, 1e-9, "scv")
+}
+
+func TestErlangMoments(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 16} {
+		rate := 3.0
+		d := Erlang(k, rate)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		almost(t, d.Mean(), float64(k)/rate, 1e-9, "Erlang mean")
+		almost(t, d.Variance(), float64(k)/(rate*rate), 1e-8, "Erlang var")
+		almost(t, d.SCV(), 1/float64(k), 1e-8, "Erlang scv")
+		if d.EntryPhase() != 0 {
+			t.Error("Erlang entry phase should be 0")
+		}
+	}
+}
+
+func TestHypoMoments(t *testing.T) {
+	d := Hypo(1, 2, 4)
+	almost(t, d.Mean(), 1+0.5+0.25, 1e-9, "Hypo mean")
+	almost(t, d.Variance(), 1+0.25+1.0/16, 1e-8, "Hypo var")
+}
+
+func TestHyperExpMoments(t *testing.T) {
+	d, err := HyperExp([]float64{0.4, 0.6}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.4/1 + 0.6/3
+	almost(t, d.Mean(), wantMean, 1e-9, "Hyper mean")
+	// E[T^2] = 0.4*2/1 + 0.6*2/9
+	wantM2 := 0.4*2 + 0.6*2.0/9
+	almost(t, d.Variance(), wantM2-wantMean*wantMean, 1e-8, "Hyper var")
+	if d.SCV() <= 1 {
+		t.Error("hyperexponential must have scv > 1")
+	}
+	if d.EntryPhase() != -1 {
+		t.Error("hyperexp must not report a deterministic entry")
+	}
+}
+
+func TestCoxianMoments(t *testing.T) {
+	d, err := Coxian([]float64{2, 4}, []float64{0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With prob 0.5 absorb after Exp(2); else Exp(2)+Exp(4).
+	wantMean := 0.5*(1.0/2) + 0.5*(1.0/2+1.0/4)
+	almost(t, d.Mean(), wantMean, 1e-9, "Coxian mean")
+}
+
+func TestCDFExponential(t *testing.T) {
+	d := Exp(2)
+	for _, tm := range []float64{0.1, 0.5, 1, 2} {
+		almost(t, d.CDF(tm), 1-math.Exp(-2*tm), 1e-8, "Exp CDF")
+	}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Error("CDF must be 0 at t<=0")
+	}
+}
+
+func TestCDFErlangMedianOrdering(t *testing.T) {
+	// Erlang CDFs around the mean get steeper with k.
+	d := 1.0
+	prev := 0.0
+	for _, k := range []int{1, 2, 8, 32} {
+		e, err := FitFixedDelay(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// P(T <= 0.5d) decreases with k (less mass far below the mean).
+		p := e.CDF(0.5)
+		if k > 1 && p >= prev {
+			t.Errorf("k=%d: CDF(0.5) = %g not decreasing (prev %g)", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestFitFixedDelay(t *testing.T) {
+	d, err := FitFixedDelay(2.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), 2.5, 1e-9, "fixed-delay mean")
+	almost(t, d.SCV(), 0.125, 1e-8, "fixed-delay scv")
+	if _, err := FitFixedDelay(-1, 4); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := FitFixedDelay(1, 0); err == nil {
+		t.Error("zero phases accepted")
+	}
+}
+
+func TestFixedDelayErrorMonotone(t *testing.T) {
+	// The space-accuracy trade-off: both error measures shrink as k grows.
+	var prevSCV, prevW float64 = math.Inf(1), math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		scv, w, err := FixedDelayError(1.0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scv >= prevSCV {
+			t.Errorf("k=%d: scv %g did not decrease", k, scv)
+		}
+		if w >= prevW {
+			t.Errorf("k=%d: Wasserstein error %g did not decrease", k, w)
+		}
+		prevSCV, prevW = scv, w
+	}
+	// And the Wasserstein distance roughly matches the closed form
+	// E|T-d| ~ sqrt(2/(pi k)) * d for large k.
+	_, w32, err := FixedDelayError(1.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := math.Sqrt(2 / (math.Pi * 32))
+	if w32 < approx/2 || w32 > approx*2 {
+		t.Errorf("Wasserstein(k=32) = %g, expected near %g", w32, approx)
+	}
+}
+
+func TestMomentMatch2(t *testing.T) {
+	// scv == 1 -> exponential.
+	d, err := MomentMatch2(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), 2, 1e-9, "match mean (exp)")
+	if d.NumPhases() != 1 {
+		t.Error("scv=1 should be a single phase")
+	}
+	// scv < 1 -> Erlang with scv 1/k <= requested.
+	d, err = MomentMatch2(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), 3, 1e-8, "match mean (erlang)")
+	if got := d.SCV(); got > 0.3+1e-9 {
+		t.Errorf("scv = %g exceeds request", got)
+	}
+	// scv > 1 -> Coxian matching both moments exactly.
+	d, err = MomentMatch2(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, d.Mean(), 2, 1e-8, "match mean (cox)")
+	almost(t, d.SCV(), 4, 1e-6, "match scv (cox)")
+	if d.EntryPhase() < 0 {
+		t.Error("Coxian must have deterministic entry")
+	}
+	// Errors.
+	if _, err := MomentMatch2(-1, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := MomentMatch2(1, 0); err == nil {
+		t.Error("zero scv accepted")
+	}
+}
+
+func TestValidateCatchesBadShapes(t *testing.T) {
+	bad := []*Distribution{
+		{Alpha: nil},
+		{Alpha: []float64{0.5}, Rates: [][]float64{{0}}, Exit: []float64{1}},     // alpha sum
+		{Alpha: []float64{1}, Rates: [][]float64{{1}}, Exit: []float64{1}},       // diagonal
+		{Alpha: []float64{1}, Rates: [][]float64{{0}}, Exit: []float64{-1}},      // negative exit
+		{Alpha: []float64{1, 0}, Rates: [][]float64{{0}}, Exit: []float64{1, 1}}, // dims
+		{Alpha: []float64{1}, Rates: [][]float64{{0}}, Exit: []float64{0}},       // dead phase
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid distribution", i)
+		}
+	}
+}
+
+func TestErlangPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Erlang(0) should panic")
+		}
+	}()
+	Erlang(0, 1)
+}
+
+func TestCDFLargeRate(t *testing.T) {
+	// Exercise the windowed Poisson path with a big uniformization q.
+	d := Erlang(4, 400)
+	got := d.CDF(0.01) // mean
+	if got <= 0.3 || got >= 0.8 {
+		t.Errorf("CDF at mean = %g, expected around 0.56", got)
+	}
+}
+
+func TestHyperExpValidation(t *testing.T) {
+	if _, err := HyperExp([]float64{1}, nil); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	if _, err := HyperExp([]float64{0.7, 0.7}, []float64{1, 1}); err == nil {
+		t.Error("non-normalized probs accepted")
+	}
+}
+
+func TestCoxianValidation(t *testing.T) {
+	if _, err := Coxian([]float64{1}, []float64{}); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	if _, err := Coxian([]float64{1, 1}, []float64{2, 0}); err == nil {
+		t.Error("continuation > 1 accepted")
+	}
+}

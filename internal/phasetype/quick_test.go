@@ -1,0 +1,127 @@
+package phasetype
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randErlang generates random Erlang parameters.
+type randErlang struct {
+	K    int
+	Rate float64
+}
+
+func (randErlang) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randErlang{
+		K:    1 + rng.Intn(12),
+		Rate: 0.25 + 8*rng.Float64(),
+	})
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(99))}
+}
+
+func TestQuickErlangMoments(t *testing.T) {
+	prop := func(p randErlang) bool {
+		d := Erlang(p.K, p.Rate)
+		k, r := float64(p.K), p.Rate
+		return math.Abs(d.Mean()-k/r) < 1e-7*(k/r) &&
+			math.Abs(d.Variance()-k/(r*r)) < 1e-6*(k/(r*r)) &&
+			math.Abs(d.SCV()-1/k) < 1e-6
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCDFMonotoneAndBounded(t *testing.T) {
+	prop := func(p randErlang) bool {
+		d := Erlang(p.K, p.Rate)
+		mean := d.Mean()
+		prev := 0.0
+		for i := 1; i <= 10; i++ {
+			f := d.CDF(mean * float64(i) / 3)
+			if f < prev-1e-9 || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCDFMedianNearMean(t *testing.T) {
+	// For Erlang, CDF(mean) is in (0.4, 0.7) for all k >= 1.
+	prop := func(p randErlang) bool {
+		d := Erlang(p.K, p.Rate)
+		f := d.CDF(d.Mean())
+		return f > 0.4 && f < 0.7
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMomentMatchMeanExact(t *testing.T) {
+	prop := func(meanRaw, scvRaw uint16) bool {
+		mean := 0.05 + float64(meanRaw%1000)/100
+		scv := 0.05 + float64(scvRaw%500)/100
+		d, err := MomentMatch2(mean, scv)
+		if err != nil {
+			return false
+		}
+		if math.Abs(d.Mean()-mean) > 1e-6*mean {
+			return false
+		}
+		// SCV: exact above 1 (Coxian), bounded from below by the
+		// Erlang grid when below 1.
+		if scv >= 1 {
+			return math.Abs(d.SCV()-scv) < 1e-4*scv
+		}
+		return d.SCV() <= scv+1e-9
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHypoValidAndOrdered(t *testing.T) {
+	// A hypoexponential is always valid and has SCV in (0, 1].
+	prop := func(a, b, c uint8) bool {
+		rates := []float64{
+			0.2 + float64(a%40)/4,
+			0.2 + float64(b%40)/4,
+			0.2 + float64(c%40)/4,
+		}
+		d := Hypo(rates...)
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		scv := d.SCV()
+		return scv > 0 && scv <= 1+1e-9
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFixedDelayMeanExact(t *testing.T) {
+	prop := func(p randErlang) bool {
+		delay := 0.1 + p.Rate // reuse as a random positive delay
+		d, err := FitFixedDelay(delay, p.K)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Mean()-delay) < 1e-7*delay
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}

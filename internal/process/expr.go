@@ -1,0 +1,300 @@
+package process
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a side-effect-free expression over values. Expressions appear in
+// emissions (!e), guards, let bindings and process-call arguments.
+// Behaviour terms are kept closed by substitution, so by the time an
+// expression is evaluated it must contain no free variables.
+type Expr interface {
+	// Eval evaluates the (closed) expression.
+	Eval() (Value, error)
+	// String renders the expression in concrete syntax.
+	String() string
+	// substExpr replaces free occurrences of name by the literal v.
+	substExpr(name string, v Value) Expr
+}
+
+// ---- literals and variables ----
+
+// IntLit is an integer literal expression.
+type IntLit struct{ V int }
+
+// BoolLit is a boolean literal expression.
+type BoolLit struct{ V bool }
+
+// VarRef references a variable bound by ?x, let, >> accept or a process
+// parameter. A VarRef must have been substituted away before evaluation.
+type VarRef struct{ Name string }
+
+// Lit converts a runtime value back into a literal expression.
+func Lit(v Value) Expr {
+	if v.Kind == KindBool {
+		return BoolLit{v.N != 0}
+	}
+	return IntLit{v.N}
+}
+
+// Int is shorthand for an integer literal.
+func Int(n int) Expr { return IntLit{n} }
+
+// Bool is shorthand for a boolean literal.
+func Bool(b bool) Expr { return BoolLit{b} }
+
+// V is shorthand for a variable reference.
+func V(name string) Expr { return VarRef{name} }
+
+func (e IntLit) Eval() (Value, error)  { return IntVal(e.V), nil }
+func (e BoolLit) Eval() (Value, error) { return BoolVal(e.V), nil }
+func (e VarRef) Eval() (Value, error) {
+	return Value{}, fmt.Errorf("process: unbound variable %q", e.Name)
+}
+
+func (e IntLit) String() string  { return fmt.Sprint(e.V) }
+func (e BoolLit) String() string { return fmt.Sprint(e.V) }
+func (e VarRef) String() string  { return e.Name }
+
+func (e IntLit) substExpr(string, Value) Expr  { return e }
+func (e BoolLit) substExpr(string, Value) Expr { return e }
+func (e VarRef) substExpr(name string, v Value) Expr {
+	if e.Name == name {
+		return Lit(v)
+	}
+	return e
+}
+
+// ---- operators ----
+
+// BinOp enumerates binary operators.
+type BinOp int8
+
+// Binary operators. Arithmetic and ordering act on integers; equality on
+// both kinds; conjunction/disjunction on booleans.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "div", OpMod: "mod",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or",
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// Helpers for common operator applications.
+func Add(a, b Expr) Expr  { return Binary{OpAdd, a, b} }
+func Sub(a, b Expr) Expr  { return Binary{OpSub, a, b} }
+func Mul(a, b Expr) Expr  { return Binary{OpMul, a, b} }
+func Div(a, b Expr) Expr  { return Binary{OpDiv, a, b} }
+func Mod(a, b Expr) Expr  { return Binary{OpMod, a, b} }
+func Eq(a, b Expr) Expr   { return Binary{OpEq, a, b} }
+func Ne(a, b Expr) Expr   { return Binary{OpNe, a, b} }
+func Lt(a, b Expr) Expr   { return Binary{OpLt, a, b} }
+func Le(a, b Expr) Expr   { return Binary{OpLe, a, b} }
+func Gt(a, b Expr) Expr   { return Binary{OpGt, a, b} }
+func Ge(a, b Expr) Expr   { return Binary{OpGe, a, b} }
+func AndE(a, b Expr) Expr { return Binary{OpAnd, a, b} }
+func OrE(a, b Expr) Expr  { return Binary{OpOr, a, b} }
+
+func (e Binary) Eval() (Value, error) {
+	a, err := e.A.Eval()
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := e.B.Eval()
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLt, OpLe, OpGt, OpGe:
+		if a.Kind != KindInt {
+			return Value{}, &TypeError{binOpNames[e.Op], KindInt, a}
+		}
+		if b.Kind != KindInt {
+			return Value{}, &TypeError{binOpNames[e.Op], KindInt, b}
+		}
+	case OpAnd, OpOr:
+		if a.Kind != KindBool {
+			return Value{}, &TypeError{binOpNames[e.Op], KindBool, a}
+		}
+		if b.Kind != KindBool {
+			return Value{}, &TypeError{binOpNames[e.Op], KindBool, b}
+		}
+	case OpEq, OpNe:
+		if a.Kind != b.Kind {
+			return Value{}, fmt.Errorf("process: comparing %s with %s", a, b)
+		}
+	}
+	switch e.Op {
+	case OpAdd:
+		return IntVal(a.N + b.N), nil
+	case OpSub:
+		return IntVal(a.N - b.N), nil
+	case OpMul:
+		return IntVal(a.N * b.N), nil
+	case OpDiv:
+		if b.N == 0 {
+			return Value{}, fmt.Errorf("process: division by zero in %s", e)
+		}
+		return IntVal(a.N / b.N), nil
+	case OpMod:
+		if b.N == 0 {
+			return Value{}, fmt.Errorf("process: modulo by zero in %s", e)
+		}
+		m := a.N % b.N
+		if m < 0 {
+			m += abs(b.N)
+		}
+		return IntVal(m), nil
+	case OpEq:
+		return BoolVal(a == b), nil
+	case OpNe:
+		return BoolVal(a != b), nil
+	case OpLt:
+		return BoolVal(a.N < b.N), nil
+	case OpLe:
+		return BoolVal(a.N <= b.N), nil
+	case OpGt:
+		return BoolVal(a.N > b.N), nil
+	case OpGe:
+		return BoolVal(a.N >= b.N), nil
+	case OpAnd:
+		return BoolVal(a.N != 0 && b.N != 0), nil
+	case OpOr:
+		return BoolVal(a.N != 0 || b.N != 0), nil
+	default:
+		return Value{}, fmt.Errorf("process: unknown operator %d", e.Op)
+	}
+}
+
+func (e Binary) String() string {
+	return "(" + e.A.String() + " " + binOpNames[e.Op] + " " + e.B.String() + ")"
+}
+
+func (e Binary) substExpr(name string, v Value) Expr {
+	return Binary{e.Op, e.A.substExpr(name, v), e.B.substExpr(name, v)}
+}
+
+// NotE is boolean negation.
+type NotE struct{ X Expr }
+
+// Not negates a boolean expression.
+func NotExpr(x Expr) Expr { return NotE{x} }
+
+func (e NotE) Eval() (Value, error) {
+	x, err := e.X.Eval()
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Kind != KindBool {
+		return Value{}, &TypeError{"not", KindBool, x}
+	}
+	return BoolVal(x.N == 0), nil
+}
+
+func (e NotE) String() string { return "not " + e.X.String() }
+func (e NotE) substExpr(name string, v Value) Expr {
+	return NotE{e.X.substExpr(name, v)}
+}
+
+// Neg is integer negation.
+type Neg struct{ X Expr }
+
+func (e Neg) Eval() (Value, error) {
+	x, err := e.X.Eval()
+	if err != nil {
+		return Value{}, err
+	}
+	if x.Kind != KindInt {
+		return Value{}, &TypeError{"-", KindInt, x}
+	}
+	return IntVal(-x.N), nil
+}
+
+func (e Neg) String() string { return "-" + e.X.String() }
+func (e Neg) substExpr(name string, v Value) Expr {
+	return Neg{e.X.substExpr(name, v)}
+}
+
+// IfE is a conditional expression if C then A else B.
+type IfE struct{ C, A, B Expr }
+
+// Ite builds a conditional expression.
+func Ite(c, a, b Expr) Expr { return IfE{c, a, b} }
+
+func (e IfE) Eval() (Value, error) {
+	c, err := e.C.Eval()
+	if err != nil {
+		return Value{}, err
+	}
+	if c.Kind != KindBool {
+		return Value{}, &TypeError{"if", KindBool, c}
+	}
+	if c.N != 0 {
+		return e.A.Eval()
+	}
+	return e.B.Eval()
+}
+
+func (e IfE) String() string {
+	return "(if " + e.C.String() + " then " + e.A.String() + " else " + e.B.String() + ")"
+}
+
+func (e IfE) substExpr(name string, v Value) Expr {
+	return IfE{e.C.substExpr(name, v), e.A.substExpr(name, v), e.B.substExpr(name, v)}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// freeVarsExpr accumulates the free variables of e into set.
+func freeVarsExpr(e Expr, set map[string]bool) {
+	switch x := e.(type) {
+	case VarRef:
+		set[x.Name] = true
+	case Binary:
+		freeVarsExpr(x.A, set)
+		freeVarsExpr(x.B, set)
+	case NotE:
+		freeVarsExpr(x.X, set)
+	case Neg:
+		freeVarsExpr(x.X, set)
+	case IfE:
+		freeVarsExpr(x.C, set)
+		freeVarsExpr(x.A, set)
+		freeVarsExpr(x.B, set)
+	}
+}
+
+// exprList renders a comma-separated expression list.
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

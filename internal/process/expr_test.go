@@ -1,0 +1,112 @@
+package process
+
+import (
+	"strings"
+	"testing"
+)
+
+func evalOK(t *testing.T, e Expr) Value {
+	t.Helper()
+	v, err := e.Eval()
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want Value
+	}{
+		{Add(Int(2), Int(3)), IntVal(5)},
+		{Sub(Int(2), Int(3)), IntVal(-1)},
+		{Mul(Int(4), Int(3)), IntVal(12)},
+		{Div(Int(7), Int(2)), IntVal(3)},
+		{Mod(Int(7), Int(3)), IntVal(1)},
+		{Mod(Int(-1), Int(4)), IntVal(3)}, // mathematical modulo
+		{Neg{Int(5)}, IntVal(-5)},
+		{Eq(Int(2), Int(2)), BoolVal(true)},
+		{Ne(Int(2), Int(3)), BoolVal(true)},
+		{Lt(Int(2), Int(3)), BoolVal(true)},
+		{Le(Int(3), Int(3)), BoolVal(true)},
+		{Gt(Int(2), Int(3)), BoolVal(false)},
+		{Ge(Int(3), Int(3)), BoolVal(true)},
+		{AndE(Bool(true), Bool(false)), BoolVal(false)},
+		{OrE(Bool(true), Bool(false)), BoolVal(true)},
+		{NotExpr(Bool(false)), BoolVal(true)},
+		{Eq(Bool(true), Bool(true)), BoolVal(true)},
+		{Ite(Bool(true), Int(1), Int(2)), IntVal(1)},
+		{Ite(Bool(false), Int(1), Int(2)), IntVal(2)},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.e); got != c.want {
+			t.Errorf("%s = %s, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []Expr{
+		V("x"),                      // unbound
+		Div(Int(1), Int(0)),         // division by zero
+		Mod(Int(1), Int(0)),         // modulo by zero
+		Add(Int(1), Bool(true)),     // type error
+		AndE(Int(1), Bool(true)),    // type error
+		NotExpr(Int(1)),             // type error
+		Eq(Int(1), Bool(true)),      // kind mismatch
+		Ite(Int(1), Int(1), Int(2)), // non-bool condition
+		Neg{Bool(true)},             // type error
+		Add(V("x"), Int(1)),         // nested unbound
+	}
+	for _, e := range bad {
+		if _, err := e.Eval(); err == nil {
+			t.Errorf("Eval(%s): expected error", e)
+		}
+	}
+}
+
+func TestSubstExpr(t *testing.T) {
+	e := Add(V("x"), Mul(V("y"), V("x")))
+	e2 := e.substExpr("x", IntVal(2))
+	e3 := e2.substExpr("y", IntVal(5))
+	if got := evalOK(t, e3); got != IntVal(12) {
+		t.Errorf("subst eval = %s, want 12", got)
+	}
+	// Original untouched (immutability).
+	if _, err := e.Eval(); err == nil {
+		t.Error("original expression mutated by substitution")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if IntVal(-3).String() != "-3" || BoolVal(true).String() != "true" || BoolVal(false).String() != "false" {
+		t.Error("Value.String misrenders")
+	}
+}
+
+func TestValueAccessorsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int() on bool should panic")
+		}
+	}()
+	_ = BoolVal(true).Int()
+}
+
+func TestFreeVars(t *testing.T) {
+	set := map[string]bool{}
+	freeVarsExpr(Ite(V("c"), Add(V("a"), Int(1)), NotE{V("b")}), set)
+	for _, v := range []string{"a", "b", "c"} {
+		if !set[v] {
+			t.Errorf("free var %s missed", v)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	s := Add(V("x"), Int(1)).String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "+") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,131 @@
+package process
+
+import (
+	"fmt"
+
+	"multival/internal/lts"
+)
+
+// ProcDef is a named, parameterized process definition.
+type ProcDef struct {
+	Name   string
+	Params []string
+	Body   Behavior
+}
+
+// System is a collection of process definitions plus a root behaviour,
+// corresponding to a LOTOS specification.
+type System struct {
+	Name string
+	Defs map[string]*ProcDef
+	Root Behavior
+}
+
+// NewSystem creates an empty system with the given name.
+func NewSystem(name string) *System {
+	return &System{Name: name, Defs: make(map[string]*ProcDef)}
+}
+
+// Define registers a process definition, replacing any previous definition
+// with the same name, and returns the system for chaining.
+func (s *System) Define(name string, params []string, body Behavior) *System {
+	s.Defs[name] = &ProcDef{Name: name, Params: params, Body: body}
+	return s
+}
+
+// SetRoot sets the root behaviour and returns the system for chaining.
+func (s *System) SetRoot(b Behavior) *System {
+	s.Root = b
+	return s
+}
+
+// GenOptions configures state-space generation.
+type GenOptions struct {
+	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
+	// Exceeding the bound is an error (state-space explosion guard).
+	MaxStates int
+}
+
+// DefaultMaxStates is the generation bound used when GenOptions.MaxStates
+// is zero.
+const DefaultMaxStates = 1 << 20
+
+// ExplosionError reports that generation exceeded the state bound.
+type ExplosionError struct {
+	Bound int
+}
+
+func (e *ExplosionError) Error() string {
+	return fmt.Sprintf("process: state space exceeds %d states", e.Bound)
+}
+
+// Generate explores the state space of the system's root behaviour and
+// returns it as an LTS. States are identified by the canonical printing of
+// their (closed) behaviour term; exploration is breadth-first, so state
+// numbering is deterministic.
+func (s *System) Generate(opts GenOptions) (*lts.LTS, error) {
+	if s.Root == nil {
+		return nil, fmt.Errorf("process: system %q has no root behaviour", s.Name)
+	}
+	bound := opts.MaxStates
+	if bound == 0 {
+		bound = DefaultMaxStates
+	}
+
+	l := lts.New(s.Name)
+	index := make(map[string]lts.State)
+	var terms []Behavior
+
+	intern := func(b Behavior) (lts.State, bool, error) {
+		key := b.String()
+		if st, ok := index[key]; ok {
+			return st, false, nil
+		}
+		if len(terms) >= bound {
+			return 0, false, &ExplosionError{bound}
+		}
+		st := l.AddState()
+		index[key] = st
+		terms = append(terms, b)
+		return st, true, nil
+	}
+
+	if _, _, err := intern(s.Root); err != nil {
+		return nil, err
+	}
+	l.SetInitial(0)
+
+	for qi := 0; qi < len(terms); qi++ {
+		src := lts.State(qi)
+		ss, err := steps(terms[qi], s.Defs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("state %d: %w", qi, err)
+		}
+		for _, st := range ss {
+			dst, _, err := intern(st.next)
+			if err != nil {
+				return nil, err
+			}
+			l.AddTransition(src, st.label(), dst)
+		}
+	}
+	return l, nil
+}
+
+// MustGenerate is Generate that panics on error; for models known to be
+// finite and well-typed (tests, examples).
+func (s *System) MustGenerate(opts GenOptions) *lts.LTS {
+	l, err := s.Generate(opts)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Generate builds the LTS of a standalone behaviour with no process
+// definitions.
+func GenerateBehavior(name string, b Behavior, opts GenOptions) (*lts.LTS, error) {
+	sys := NewSystem(name)
+	sys.SetRoot(b)
+	return sys.Generate(opts)
+}

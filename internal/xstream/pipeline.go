@@ -1,0 +1,75 @@
+package xstream
+
+import (
+	"fmt"
+
+	"multival/internal/compose"
+	"multival/internal/lts"
+)
+
+// ValueQueue builds the LTS of a FIFO queue of the given capacity over
+// `values` distinct data values, receiving on gate in and emitting on
+// gate out (labels "in !v" / "out !v"). It is the structural building
+// block of xSTream communication pipelines.
+func ValueQueue(in, out string, capacity, values int) (*lts.LTS, error) {
+	if capacity < 1 || capacity > 6 {
+		return nil, fmt.Errorf("xstream: capacity %d out of 1..6", capacity)
+	}
+	if values < 1 || values > 4 {
+		return nil, fmt.Errorf("xstream: values %d out of 1..4", values)
+	}
+	l := lts.New(fmt.Sprintf("queue(%s->%s,c=%d)", in, out, capacity))
+	index := map[string]lts.State{}
+	var queue []string
+	intern := func(content string) lts.State {
+		if s, ok := index[content]; ok {
+			return s
+		}
+		s := l.AddState()
+		index[content] = s
+		queue = append(queue, content)
+		return s
+	}
+	intern("")
+	l.SetInitial(0)
+	for qi := 0; qi < len(queue); qi++ {
+		content := queue[qi]
+		src := index[content]
+		if len(content) < capacity {
+			for v := 0; v < values; v++ {
+				dst := intern(content + string(rune('0'+v)))
+				l.AddTransition(src, fmt.Sprintf("%s !%d", in, v), dst)
+			}
+		}
+		if len(content) > 0 {
+			dst := intern(content[1:])
+			l.AddTransition(src, fmt.Sprintf("%s !%d", out, int(content[0]-'0')), dst)
+		}
+	}
+	return l, nil
+}
+
+// PipelineNetwork builds the network of n chained value queues used by
+// the compositional-verification experiment (E8): stage i receives on
+// gate s<i> and emits on s<i+1>; the internal gates s1..s<n-1> are
+// synchronized and hidden, leaving s0 (external input) and s<n>
+// (external output) visible.
+func PipelineNetwork(n, capacity, values int) (*compose.Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("xstream: need at least one stage")
+	}
+	gate := func(i int) string { return fmt.Sprintf("s%d", i) }
+	net := &compose.Network{}
+	for i := 0; i < n; i++ {
+		q, err := ValueQueue(gate(i), gate(i+1), capacity, values)
+		if err != nil {
+			return nil, err
+		}
+		net.Components = append(net.Components, q)
+	}
+	for i := 1; i < n; i++ {
+		net.Sync = append(net.Sync, gate(i))
+		net.Hide = append(net.Hide, gate(i))
+	}
+	return net, nil
+}

@@ -1,0 +1,209 @@
+// Package xstream models the STMicroelectronics xSTream architecture as
+// studied in the Multival project: processing elements communicating
+// through hardware network queues with credit-based flow control. The
+// package provides
+//
+//   - a functional model of a credited queue between a producer and a
+//     consumer, with injectable protocol bugs reproducing the paper's
+//     claim that "two functional issues in xSTream have been highlighted"
+//     (experiment E1);
+//   - a counting abstraction of the queue for performance evaluation
+//     (occupancy, throughput, latency — experiment E5);
+//   - a pipeline builder used in the compositional state-space experiments
+//     (experiment E8).
+package xstream
+
+import (
+	"fmt"
+
+	"multival/internal/lts"
+)
+
+// Variant selects the protocol version of the functional model.
+type Variant int
+
+const (
+	// Correct is the credit protocol as intended: a producer-side
+	// credit counter starts at the queue capacity, each push consumes a
+	// credit, and each pop returns one.
+	Correct Variant = iota
+	// CreditLeak injects the first issue: the queue's flush operation
+	// discards buffered values without returning their credits, so
+	// credits leak and the system eventually deadlocks.
+	CreditLeak
+	// OptimisticPush injects the second issue: the producer pushes
+	// without holding a credit when the queue *appears* non-full from a
+	// stale occupancy observation; the race overflows the buffer and
+	// drops a value (visible as the "overflow" action).
+	OptimisticPush
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case CreditLeak:
+		return "credit-leak"
+	case OptimisticPush:
+		return "optimistic-push"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the functional queue model.
+type Config struct {
+	// Capacity is the number of queue slots (>= 1).
+	Capacity int
+	// Values is the number of distinct data values (>= 1); 2 is enough
+	// to observe ordering violations.
+	Values int
+	// Variant selects the protocol version.
+	Variant Variant
+	// WithFlush enables the flush operation (required to expose
+	// CreditLeak; harmless for Correct).
+	WithFlush bool
+}
+
+func (c Config) validate() error {
+	if c.Capacity < 1 {
+		return fmt.Errorf("xstream: capacity %d < 1", c.Capacity)
+	}
+	if c.Capacity > 8 {
+		return fmt.Errorf("xstream: capacity %d too large for the functional model", c.Capacity)
+	}
+	if c.Values < 1 || c.Values > 4 {
+		return fmt.Errorf("xstream: values %d out of 1..4", c.Values)
+	}
+	return nil
+}
+
+// queueState is the explicit state of the functional model: the FIFO
+// content, the producer's credit counter, the credits in flight back to
+// the producer, and (for OptimisticPush) the producer's stale occupancy
+// observation. In the correct protocol fifo+credits+owed == capacity is
+// invariant; the CreditLeak variant breaks it.
+type queueState struct {
+	fifo    string // one byte per buffered value
+	credits int    // credits held by the producer
+	owed    int    // credits traveling back to the producer
+	// staleFree is the producer's possibly outdated belief of free
+	// slots (only used by OptimisticPush; -1 means no observation).
+	staleFree int
+}
+
+// FunctionalModel generates the LTS of producer + credited queue +
+// consumer. Labels:
+//
+//	push !v    producer hands value v to the queue (consuming a credit)
+//	pop !v     consumer removes value v
+//	credit     a credit travels back to the producer
+//	flush      the queue discards its content
+//	overflow   a push hit a full buffer and the value was lost (bug only)
+func FunctionalModel(cfg Config) (*lts.LTS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l := lts.New(fmt.Sprintf("xstream-%s-c%d", cfg.Variant, cfg.Capacity))
+
+	index := map[queueState]lts.State{}
+	var queue []queueState
+	intern := func(st queueState) lts.State {
+		if s, ok := index[st]; ok {
+			return s
+		}
+		s := l.AddState()
+		index[st] = s
+		queue = append(queue, st)
+		return s
+	}
+
+	init := queueState{credits: cfg.Capacity, staleFree: -1}
+	intern(init)
+	l.SetInitial(0)
+
+	for qi := 0; qi < len(queue); qi++ {
+		st := queue[qi]
+		src := index[st]
+
+		// Producer pushes value v, holding a credit. (The stale
+		// observation, if any, is deliberately NOT invalidated: the
+		// hardware's occupancy snapshot register is a separate path.)
+		if st.credits > 0 {
+			for v := 0; v < cfg.Values; v++ {
+				next := st
+				next.credits--
+				next.fifo = st.fifo + string(rune('0'+v))
+				l.AddTransition(src, fmt.Sprintf("push !%d", v), intern(next))
+			}
+		}
+
+		if cfg.Variant == OptimisticPush {
+			// The producer may first observe the current free-slot
+			// count (a snapshot that can go stale)...
+			if st.staleFree < 0 {
+				next := st
+				next.staleFree = cfg.Capacity - len(st.fifo)
+				l.AddTransition(src, "observe", intern(next))
+			}
+			// ...and then push based on the stale observation even
+			// without a credit. If the queue filled up in between,
+			// the value is lost.
+			if st.staleFree > 0 && st.credits == 0 {
+				for v := 0; v < cfg.Values; v++ {
+					if len(st.fifo) < cfg.Capacity {
+						next := st
+						next.fifo = st.fifo + string(rune('0'+v))
+						next.staleFree = -1
+						l.AddTransition(src, fmt.Sprintf("push !%d", v), intern(next))
+					} else {
+						next := st
+						next.staleFree = -1
+						l.AddTransition(src, "overflow", intern(next))
+					}
+				}
+			}
+		}
+
+		// Consumer pops the head; the freed slot's credit starts its
+		// journey back to the producer. The credit path is a hardware
+		// counter of the queue's width: it saturates at the capacity
+		// (saturation is unreachable in the correct protocol and keeps
+		// the buggy variants finite-state).
+		if len(st.fifo) > 0 {
+			v := int(st.fifo[0] - '0')
+			next := st
+			next.fifo = st.fifo[1:]
+			if next.owed < cfg.Capacity {
+				next.owed = st.owed + 1
+			}
+			l.AddTransition(src, fmt.Sprintf("pop !%d", v), intern(next))
+		}
+
+		// A traveling credit arrives back at the producer, whose
+		// counter likewise saturates at the capacity.
+		if st.owed > 0 {
+			next := st
+			next.owed--
+			if next.credits < cfg.Capacity {
+				next.credits++
+			}
+			l.AddTransition(src, "credit", intern(next))
+		}
+
+		// Flush: the queue discards its content.
+		if cfg.WithFlush && len(st.fifo) > 0 {
+			next := st
+			next.fifo = ""
+			if cfg.Variant == CreditLeak {
+				// BUG: the credits of the discarded values are
+				// never returned.
+			} else {
+				next.owed = st.owed + len(st.fifo)
+			}
+			l.AddTransition(src, "flush", intern(next))
+		}
+	}
+	return l, nil
+}

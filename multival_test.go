@@ -1,0 +1,174 @@
+package multival
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const bufferSpec = `
+process Buf :=
+    put ?x:0..1 ; get !x ; Buf
+endproc
+behaviour Buf
+`
+
+func TestFromLOTOSAndCheck(t *testing.T) {
+	m, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States() == 0 || m.Transitions() == 0 {
+		t.Fatal("empty model")
+	}
+	res, err := m.CheckDeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("buffer deadlocked")
+	}
+	res, err = m.Check(`mu X . (<"get !1"> true or <true> X)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("get !1 unreachable")
+	}
+	if _, err := m.Check("((("); err == nil {
+		t.Fatal("bad formula accepted")
+	}
+}
+
+func TestMinimizeAndEquivalence(t *testing.T) {
+	m, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Minimize(Branching)
+	if q.States() > m.States() {
+		t.Fatal("minimization grew the model")
+	}
+	cmp := m.EquivalentTo(q, Branching)
+	if !cmp.Equivalent {
+		t.Fatal("quotient not equivalent")
+	}
+	// A different buffer (values 0..2) is not equivalent.
+	other, err := FromLOTOS(strings.Replace(bufferSpec, "0..1", "0..2", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp = m.EquivalentTo(other, Trace)
+	if cmp.Equivalent {
+		t.Fatal("different buffers reported equivalent")
+	}
+	if len(cmp.Counterexample) == 0 {
+		t.Fatal("no counterexample")
+	}
+}
+
+func TestHide(t *testing.T) {
+	m, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Hide("get")
+	res, err := h.Check(`<"get !0"> true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("hidden gate still visible")
+	}
+}
+
+const workSpec = `
+process Work :=
+    work_s ; work_e ; done ; Work
+endproc
+behaviour Work
+`
+
+func TestPerformanceFlow(t *testing.T) {
+	m, err := FromLOTOS(workSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Decorate(Delay{Start: "work_s", End: "work_e", Dist: Exp(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lumped := p.Lump()
+	if lumped.States() > p.States() {
+		t.Fatal("lumping grew the IMC")
+	}
+	ms, err := lumped.SteadyState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := ms.Throughputs["done"]
+	if math.Abs(thr-2) > 1e-8 {
+		t.Fatalf("done throughput = %g, want 2", thr)
+	}
+}
+
+func TestDecorateRatesFlow(t *testing.T) {
+	m, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hide values first: decorate exact labels.
+	p, err := m.DecorateRates(map[string]float64{
+		"put !0": 0.5, "put !1": 0.5, "get !0": 2, "get !1": 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := p.SteadyState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, pr := range ms.Pi {
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pi sums to %g", sum)
+	}
+}
+
+func TestMeanTimeTo(t *testing.T) {
+	m, err := FromLOTOS(workSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	dist, err := FixedDelay(0.5, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Decorate(Delay{Start: "work_s", End: "work_e", Dist: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := p.MeanTimeTo("done", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-0.5) > 1e-8 {
+		t.Fatalf("first done after %g, want 0.5", lat)
+	}
+	if _, err := p.MeanTimeTo("nope", nil); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestErlangHelper(t *testing.T) {
+	e := Erlang(4, 8)
+	if math.Abs(e.Mean()-0.5) > 1e-9 {
+		t.Fatalf("Erlang mean = %g", e.Mean())
+	}
+	if _, err := FixedDelay(-1, 2); err == nil {
+		t.Fatal("bad delay accepted")
+	}
+}
