@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet bench bench-engine check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark suite (one run per experiment + engine micro-benchmarks).
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Just the state-space engine trajectory: compose-then-minimize at
+# 10k/40k/100k states and parallel-vs-sequential partition refinement.
+bench-engine:
+	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
+
+check: build vet test

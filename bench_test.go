@@ -7,6 +7,7 @@ package multival
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"multival/internal/bisim"
@@ -278,6 +279,85 @@ func BenchmarkSteadyStateLargeChain(b *testing.B) {
 		if _, err := c.SteadyState(markov.SolveOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- benchmarks of the shared CSR state-space engine ----
+
+// composeMinimizeInputs builds a random LTS of the given size plus a small
+// random monitor synchronizing on three of its gates, so the product stays
+// within a constant factor of the input size (the 10k–100k range the
+// refactor targets) while still exercising synchronized generation.
+func composeMinimizeInputs(states int) (*lts.LTS, *lts.LTS, []string) {
+	rng := rand.New(rand.NewSource(int64(states)))
+	main := lts.Random(rng, lts.RandomConfig{
+		States: states, Labels: 6, Density: 3, TauProb: 0.2, Connect: true,
+	})
+	monitor := lts.Random(rng, lts.RandomConfig{
+		States: 5, Labels: 3, Density: 3, Connect: true,
+	})
+	return main, monitor, []string{"a", "b", "c"}
+}
+
+func benchComposeThenMinimize(b *testing.B, states int) {
+	main, monitor, sync := composeMinimizeInputs(states)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := compose.Pair(main, monitor, sync, 1<<22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, _ := bisim.Minimize(prod, bisim.Branching)
+		if q.NumStates() == 0 {
+			b.Fatal("empty quotient")
+		}
+	}
+}
+
+func BenchmarkComposeMinimize10k(b *testing.B)  { benchComposeThenMinimize(b, 10_000) }
+func BenchmarkComposeMinimize40k(b *testing.B)  { benchComposeThenMinimize(b, 40_000) }
+func BenchmarkComposeMinimize100k(b *testing.B) { benchComposeThenMinimize(b, 100_000) }
+
+// partitionInput is the ≥50k-state workload of the acceptance criterion:
+// the parallel engine must be no slower than the sequential reference.
+func partitionInput() *lts.LTS {
+	rng := rand.New(rand.NewSource(20080310))
+	return lts.Random(rng, lts.RandomConfig{
+		States: 50_000, Labels: 6, Density: 3, TauProb: 0.25, Connect: true,
+	})
+}
+
+func BenchmarkPartition50kStrongSeq(b *testing.B) {
+	l := partitionInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.PartitionSeq(l, bisim.Strong)
+	}
+}
+
+func BenchmarkPartition50kStrongParallel(b *testing.B) {
+	l := partitionInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Through the public entry point, so the Freeze() cost the
+		// parallel path pays is part of the seq-vs-parallel comparison.
+		bisim.Partition(l, bisim.Strong)
+	}
+}
+
+func BenchmarkPartition50kBranchingSeq(b *testing.B) {
+	l := partitionInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.PartitionSeq(l, bisim.Branching)
+	}
+}
+
+func BenchmarkPartition50kBranchingParallel(b *testing.B) {
+	l := partitionInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.Partition(l, bisim.Branching)
 	}
 }
 

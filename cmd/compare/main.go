@@ -21,6 +21,7 @@ import (
 
 func main() {
 	rel := flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
+	workers := flag.Int("workers", 0, "refinement worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: compare [-rel R] a.aut b.aut")
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "compare:", err)
 		os.Exit(2)
 	}
-	res := bisim.Compare(a, b, relation)
+	res := bisim.CompareOpt(a, b, relation, bisim.Options{Workers: *workers})
 	if res.Equivalent {
 		fmt.Printf("TRUE (%s equivalence)\n", relation)
 		return

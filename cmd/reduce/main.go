@@ -18,8 +18,9 @@ import (
 
 func main() {
 	var (
-		rel  = flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
-		hide = flag.String("hide", "", "comma-separated gates to hide before reducing")
+		rel     = flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
+		hide    = flag.String("hide", "", "comma-separated gates to hide before reducing")
+		workers = flag.Int("workers", 0, "refinement worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,7 +53,7 @@ func main() {
 		})
 	}
 	before := l.Stats()
-	q, _ := bisim.Minimize(l, relation)
+	q, _ := bisim.MinimizeOpt(l, relation, bisim.Options{Workers: *workers})
 	if err := aut.Write(os.Stdout, q); err != nil {
 		fmt.Fprintln(os.Stderr, "reduce:", err)
 		os.Exit(1)

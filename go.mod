@@ -1,0 +1,3 @@
+module multival
+
+go 1.22

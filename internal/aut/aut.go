@@ -14,28 +14,51 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
 	"multival/internal/lts"
 )
 
-// Write serializes l in Aldebaran format.
+// Write serializes l in Aldebaran format. Transitions are emitted in a
+// canonical order — by source state, then label string, then destination —
+// so the output is deterministic regardless of the insertion order of the
+// transitions (two behaviourally identical builds produce byte-identical
+// files, which keeps diffs and golden tests stable).
 func Write(w io.Writer, l *lts.LTS) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "des (%d, %d, %d)\n",
 		l.Initial(), l.NumTransitions(), l.NumStates()); err != nil {
 		return err
 	}
-	var werr error
-	l.EachTransition(func(t lts.Transition) {
-		if werr != nil {
-			return
+	// Rank labels by name once so the sort comparator is integer-only.
+	names := l.Labels()
+	byName := make([]int, len(names))
+	for i := range byName {
+		byName[i] = i
+	}
+	sort.Slice(byName, func(i, j int) bool { return names[byName[i]] < names[byName[j]] })
+	rank := make([]int, len(names))
+	for r, id := range byName {
+		rank[id] = r
+	}
+	order := make([]lts.Transition, 0, l.NumTransitions())
+	l.EachTransition(func(t lts.Transition) { order = append(order, t) })
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
 		}
-		_, werr = fmt.Fprintf(bw, "(%d, %s, %d)\n", t.Src, QuoteLabel(l.LabelName(t.Label)), t.Dst)
+		if rank[a.Label] != rank[b.Label] {
+			return rank[a.Label] < rank[b.Label]
+		}
+		return a.Dst < b.Dst
 	})
-	if werr != nil {
-		return werr
+	for _, t := range order {
+		if _, err := fmt.Fprintf(bw, "(%d, %s, %d)\n", t.Src, QuoteLabel(l.LabelName(t.Label)), t.Dst); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

@@ -1,0 +1,87 @@
+package aut
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"multival/internal/lts"
+)
+
+// edgeSet returns the canonical multiset of edges of an LTS.
+func edgeSet(l *lts.LTS) []string {
+	var out []string
+	l.EachTransition(func(t lts.Transition) {
+		out = append(out, strings.Join([]string{
+			strconv.Itoa(int(t.Src)), l.LabelName(t.Label), strconv.Itoa(int(t.Dst)),
+		}, "\x00"))
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080310))
+	for trial := 0; trial < 50; trial++ {
+		l := lts.Random(rng, lts.RandomConfig{
+			States:  1 + rng.Intn(40),
+			Labels:  1 + rng.Intn(6),
+			Density: 0.5 + rng.Float64()*3,
+			TauProb: rng.Float64() * 0.3,
+			Connect: rng.Intn(2) == 0,
+		})
+		// Mix in labels that need quoting.
+		if l.NumStates() > 1 {
+			l.AddTransition(0, `push "x, y"`, 1)
+			l.AddTransition(1, `a b\c`, 0)
+		}
+		text := WriteString(l)
+		back, err := ReadString(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse failed: %v\n%s", trial, err, text)
+		}
+		if back.NumStates() != l.NumStates() || back.NumTransitions() != l.NumTransitions() {
+			t.Fatalf("trial %d: size mismatch: %v vs %v", trial, back.Stats(), l.Stats())
+		}
+		if back.Initial() != l.Initial() {
+			t.Fatalf("trial %d: initial %d vs %d", trial, back.Initial(), l.Initial())
+		}
+		ea, eb := edgeSet(l), edgeSet(back)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("trial %d: edge multiset differs at %d", trial, i)
+			}
+		}
+		// Writing the parsed LTS must reproduce the bytes exactly.
+		if again := WriteString(back); again != text {
+			t.Fatalf("trial %d: second write differs:\n%s\nvs\n%s", trial, again, text)
+		}
+	}
+}
+
+// TestWriteDeterministicOrder verifies the writer emits a canonical
+// transition order independent of insertion order.
+func TestWriteDeterministicOrder(t *testing.T) {
+	build := func(perm []int) *lts.LTS {
+		edges := [][3]interface{}{
+			{2, "b", 0}, {0, "a", 1}, {0, "a", 0}, {1, "i", 2}, {0, "b", 2},
+		}
+		l := lts.New("perm")
+		l.AddStates(3)
+		for _, i := range perm {
+			e := edges[i]
+			l.AddTransition(lts.State(e[0].(int)), e[1].(string), lts.State(e[2].(int)))
+		}
+		l.SetInitial(0)
+		return l
+	}
+	want := WriteString(build([]int{0, 1, 2, 3, 4}))
+	perms := [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {1, 4, 0, 3, 2}}
+	for _, p := range perms {
+		if got := WriteString(build(p)); got != want {
+			t.Fatalf("permutation %v: output differs:\n%s\nvs\n%s", p, got, want)
+		}
+	}
+}

@@ -15,15 +15,21 @@ import (
 // For Trace, the LTS is determinized first and the result is the minimal
 // deterministic LTS for the weak-trace language.
 func Minimize(l *lts.LTS, r Relation) (*lts.LTS, []int) {
+	return MinimizeOpt(l, r, Options{})
+}
+
+// MinimizeOpt is Minimize with explicit engine options (worker count of
+// the parallel refinement).
+func MinimizeOpt(l *lts.LTS, r Relation, opt Options) (*lts.LTS, []int) {
 	if r == Trace {
 		d := l.Determinize()
-		q, _ := Minimize(d, Strong)
+		q, _ := MinimizeOpt(d, Strong, opt)
 		q.SetName(l.Name() + ".min")
 		// The state->block map refers to determinized states, which is
 		// not meaningful for callers in terms of original states.
 		return q, nil
 	}
-	block := Partition(l, r)
+	block := PartitionOpt(l, r, opt)
 	q := quotient(l, block, r)
 	q.SetName(l.Name() + ".min")
 	return q, block
@@ -90,12 +96,17 @@ func quotient(l *lts.LTS, block []int, r Relation) *lts.LTS {
 
 // Equivalent reports whether the initial states of a and b are related by r.
 func Equivalent(a, b *lts.LTS, r Relation) bool {
+	return EquivalentOpt(a, b, r, Options{})
+}
+
+// EquivalentOpt is Equivalent with explicit engine options.
+func EquivalentOpt(a, b *lts.LTS, r Relation, opt Options) bool {
 	if r == Trace {
 		da, db := a.Determinize(), b.Determinize()
-		return Equivalent(da, db, Strong)
+		return EquivalentOpt(da, db, Strong, opt)
 	}
 	u, initA, initB := DisjointUnion(a, b)
-	block := Partition(u, r)
+	block := PartitionOpt(u, r, opt)
 	return block[initA] == block[initB]
 }
 
@@ -135,7 +146,12 @@ type CompareResult struct {
 // (bisimulation is finer than trace equivalence), so it may be nil even for
 // inequivalent systems.
 func Compare(a, b *lts.LTS, r Relation) CompareResult {
-	res := CompareResult{Relation: r, Equivalent: Equivalent(a, b, r)}
+	return CompareOpt(a, b, r, Options{})
+}
+
+// CompareOpt is Compare with explicit engine options.
+func CompareOpt(a, b *lts.LTS, r Relation, opt Options) CompareResult {
+	res := CompareResult{Relation: r, Equivalent: EquivalentOpt(a, b, r, opt)}
 	if !res.Equivalent {
 		res.Counterexample = DistinguishingTrace(a, b)
 	}

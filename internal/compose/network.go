@@ -51,7 +51,11 @@ func (e *ExplosionError) Error() string {
 	return fmt.Sprintf("compose: product exceeds %d states", e.Bound)
 }
 
-// Generate builds the product LTS of the network (monolithically).
+// Generate builds the product LTS of the network on the fly: every
+// component is frozen into its CSR form once, and the synchronized product
+// is explored with a reachable-states worklist, so only reachable tuples
+// are ever materialized. Synchronization candidates are located by binary
+// search in the label-sorted CSR rows of the frozen operands.
 func (n *Network) Generate() (*lts.LTS, error) {
 	if len(n.Components) == 0 {
 		return nil, fmt.Errorf("compose: empty network")
@@ -64,35 +68,69 @@ func (n *Network) Generate() (*lts.LTS, error) {
 	hideSet := toSet(n.Hide)
 
 	k := len(n.Components)
-	// gates[i] = set of gates used by component i; labels[g] = sorted
-	// labels observed anywhere for gate g.
-	gates := make([]map[string]bool, k)
-	gateLabels := map[string]map[string]bool{}
+	frozen := make([]*lts.Frozen, k)
 	for i, c := range n.Components {
+		if c.NumStates() == 0 {
+			return nil, fmt.Errorf("compose: component %d is empty", i)
+		}
+		frozen[i] = c.Freeze()
+	}
+
+	// Per-component label metadata, all indexed by local label id:
+	// whether the label participates in a synchronization, and the name
+	// to emit in the product (tau when its gate is hidden). Gate usage is
+	// restricted to labels occurring on at least one transition.
+	gates := make([]map[string]bool, k)
+	sync := make([][]bool, k)
+	emitName := make([][]string, k)
+	gateLabels := map[string]map[string]bool{}
+	for i, f := range frozen {
+		nl := f.NumLabels()
+		sync[i] = make([]bool, nl)
+		emitName[i] = make([]string, nl)
+		used := make([]bool, nl)
+		for s := 0; s < f.NumStates(); s++ {
+			labs, _ := f.Out(lts.State(s))
+			for _, id := range labs {
+				used[id] = true
+			}
+		}
 		gates[i] = map[string]bool{}
-		c.EachTransition(func(t lts.Transition) {
-			lab := c.LabelName(t.Label)
+		for id := 0; id < nl; id++ {
+			lab := f.LabelName(id)
 			g := GateOf(lab)
+			emitName[i][id] = lab
+			if lab != lts.Tau {
+				sync[i][id] = syncSet[g]
+				if hideSet[g] {
+					emitName[i][id] = lts.Tau
+				}
+			}
+			if !used[id] {
+				continue
+			}
 			gates[i][g] = true
-			if syncSet[g] {
+			if lab != lts.Tau && syncSet[g] {
 				if gateLabels[g] == nil {
 					gateLabels[g] = map[string]bool{}
 				}
 				gateLabels[g][lab] = true
 			}
-		})
+		}
 	}
-	// syncEntries: one entry per (label of a synchronized gate), with
-	// the participants of the whole gate, in sorted order for
-	// deterministic state numbering.
+
+	// syncEntries: one entry per (label of a synchronized gate), with the
+	// participants of the whole gate and their local label ids, in sorted
+	// order for deterministic state numbering.
 	type syncEntry struct {
 		lab   string
 		parts []int
+		ids   []int // local label id per participant (-1: never offered)
 	}
 	var syncEntries []syncEntry
 	for _, g := range n.sortedSyncLabels() {
 		var parts []int
-		for i := range n.Components {
+		for i := range frozen {
 			if gates[i][g] {
 				parts = append(parts, i)
 			}
@@ -106,7 +144,15 @@ func (n *Network) Generate() (*lts.LTS, error) {
 		}
 		sort.Strings(labs)
 		for _, lab := range labs {
-			syncEntries = append(syncEntries, syncEntry{lab, parts})
+			ids := make([]int, len(parts))
+			for pi, i := range parts {
+				ids[pi] = frozen[i].LookupLabel(lab)
+			}
+			outLab := lab
+			if hideSet[g] {
+				outLab = lts.Tau
+			}
+			syncEntries = append(syncEntries, syncEntry{outLab, parts, ids})
 		}
 	}
 
@@ -137,11 +183,8 @@ func (n *Network) Generate() (*lts.LTS, error) {
 	}
 
 	init := make(tuple, k)
-	for i, c := range n.Components {
-		if c.NumStates() == 0 {
-			return nil, fmt.Errorf("compose: component %d is empty", i)
-		}
-		init[i] = c.Initial()
+	for i, f := range frozen {
+		init[i] = f.Initial()
 	}
 	if _, err := intern(init); err != nil {
 		return nil, err
@@ -149,9 +192,6 @@ func (n *Network) Generate() (*lts.LTS, error) {
 	out.SetInitial(0)
 
 	emit := func(src lts.State, label string, dst tuple) error {
-		if label != lts.Tau && hideSet[GateOf(label)] {
-			label = lts.Tau
-		}
 		d, err := intern(dst)
 		if err != nil {
 			return err
@@ -160,47 +200,41 @@ func (n *Network) Generate() (*lts.LTS, error) {
 		return nil
 	}
 
+	options := make([][]int32, 8)
 	for qi := 0; qi < len(tuples); qi++ {
 		src := lts.State(qi)
 		tp := tuples[qi]
 
 		// Interleaved moves (tau and non-sync labels).
-		for i, c := range n.Components {
-			var ierr error
-			c.EachOutgoing(tp[i], func(t lts.Transition) {
-				if ierr != nil {
-					return
-				}
-				lab := c.LabelName(t.Label)
-				if lab != lts.Tau && syncSet[GateOf(lab)] {
-					return
+		for i, f := range frozen {
+			labs, dsts := f.Out(tp[i])
+			for ti := range labs {
+				id := labs[ti]
+				if sync[i][id] {
+					continue
 				}
 				nt := append(tuple(nil), tp...)
-				nt[i] = t.Dst
-				ierr = emit(src, lab, nt)
-			})
-			if ierr != nil {
-				return nil, ierr
+				nt[i] = lts.State(dsts[ti])
+				if err := emit(src, emitName[i][id], nt); err != nil {
+					return nil, err
+				}
 			}
 		}
 
 		// Synchronized moves, per sync label with all participants
 		// simultaneously enabled.
 		for _, se := range syncEntries {
-			lab, parts := se.lab, se.parts
-			options := make([][]lts.State, len(parts))
+			if cap(options) < len(se.parts) {
+				options = make([][]int32, len(se.parts))
+			}
+			options = options[:len(se.parts)]
 			enabled := true
-			for pi, i := range parts {
-				c := n.Components[i]
-				id := c.LookupLabel(lab)
-				var dsts []lts.State
-				if id >= 0 {
-					c.EachOutgoing(tp[i], func(t lts.Transition) {
-						if t.Label == id {
-							dsts = append(dsts, t.Dst)
-						}
-					})
+			for pi, i := range se.parts {
+				if se.ids[pi] < 0 {
+					enabled = false
+					break
 				}
+				dsts := frozen[i].Succ(tp[i], se.ids[pi])
 				if len(dsts) == 0 {
 					enabled = false
 					break
@@ -211,13 +245,13 @@ func (n *Network) Generate() (*lts.LTS, error) {
 				continue
 			}
 			// Cartesian product of participant destinations.
-			idxs := make([]int, len(parts))
+			idxs := make([]int, len(se.parts))
 			for {
 				nt := append(tuple(nil), tp...)
-				for pi, i := range parts {
-					nt[i] = options[pi][idxs[pi]]
+				for pi, i := range se.parts {
+					nt[i] = lts.State(options[pi][idxs[pi]])
 				}
-				if err := emit(src, lab, nt); err != nil {
+				if err := emit(src, se.lab, nt); err != nil {
 					return nil, err
 				}
 				// Advance odometer.

@@ -41,6 +41,13 @@ func (r *Report) observe(l *lts.LTS, step string) {
 // rel should normally be bisim.Branching (or DivBranching to preserve
 // livelocks); bisim.Strong is sound but reduces less.
 func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
+	return SmartReduceOpt(n, rel, bisim.Options{})
+}
+
+// SmartReduceOpt is SmartReduce with explicit engine options: every
+// intermediate minimization runs through the shared CSR-backed refinement
+// engine with the given worker configuration.
+func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	if len(n.Components) == 0 {
 		return nil, nil, fmt.Errorf("compose: empty network")
 	}
@@ -81,7 +88,7 @@ func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 				decl[g] = true
 			}
 		}
-		m, _ := bisim.Minimize(c, rel)
+		m, _ := bisim.MinimizeOpt(c, rel, opt)
 		report.observe(c, fmt.Sprintf("component %d", i))
 		report.observe(m, fmt.Sprintf("component %d minimized", i))
 		items = append(items, &item{l: m, decl: decl})
@@ -205,7 +212,7 @@ func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 			}
 		}
 
-		m, _ := bisim.Minimize(prod, rel)
+		m, _ := bisim.MinimizeOpt(prod, rel, opt)
 		report.observe(m, "minimized")
 		items = append(rest, &item{l: m, decl: mergedDecl})
 		pruneDeadGates()
@@ -215,7 +222,7 @@ func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 	// Hide anything still in the hide set (e.g. gates used by a single
 	// component).
 	final = final.Hide(func(lab string) bool { return hideSet[GateOf(lab)] })
-	final, _ = bisim.Minimize(final, rel)
+	final, _ = bisim.MinimizeOpt(final, rel, opt)
 	report.observe(final, "final")
 	report.FinalStates = final.NumStates()
 	report.FinalTransitions = final.NumTransitions()
@@ -257,13 +264,18 @@ func dropGates(l *lts.LTS, gates map[string]bool) *lts.LTS {
 // the peak (the unminimized product). This is the baseline compositional
 // verification is compared against (experiment E8).
 func Monolithic(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
+	return MonolithicOpt(n, rel, bisim.Options{})
+}
+
+// MonolithicOpt is Monolithic with explicit engine options.
+func MonolithicOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	report := &Report{}
 	prod, err := n.Generate()
 	if err != nil {
 		return nil, report, err
 	}
 	report.observe(prod, "monolithic product")
-	m, _ := bisim.Minimize(prod, rel)
+	m, _ := bisim.MinimizeOpt(prod, rel, opt)
 	report.observe(m, "minimized")
 	report.FinalStates = m.NumStates()
 	report.FinalTransitions = m.NumTransitions()

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"multival/internal/lts"
+	"multival/internal/sparse"
 )
 
 // MTransition is a Markovian (delay) transition with an exponential rate.
@@ -27,10 +28,12 @@ type IMC struct {
 	// Inter holds the states and interactive transitions. Its state set
 	// is the IMC's state set.
 	Inter *lts.LTS
-	// Markov holds the Markovian transitions.
+	// Markov holds the Markovian transitions. Mutate only through
+	// AddRate or AppendMarkov (or rebuild the IMC); direct appends
+	// after a traversal would leave the cached rate matrix stale.
 	Markov []MTransition
 
-	mout [][]int32 // adjacency for Markov, lazily maintained
+	rm *sparse.Matrix // lazily built CSR rate matrix over Markov
 }
 
 // New creates an empty IMC with the given name.
@@ -55,7 +58,7 @@ func (m *IMC) Initial() lts.State { return m.Inter.Initial() }
 
 // AddState adds a fresh state.
 func (m *IMC) AddState() lts.State {
-	m.mout = nil
+	m.rm = nil
 	return m.Inter.AddState()
 }
 
@@ -73,7 +76,7 @@ func (m *IMC) AddRate(src, dst lts.State, rate float64) error {
 		return fmt.Errorf("imc: transition (%d,%d) out of range", src, dst)
 	}
 	m.Markov = append(m.Markov, MTransition{src, dst, rate})
-	m.mout = nil
+	m.rm = nil
 	return nil
 }
 
@@ -84,29 +87,50 @@ func (m *IMC) MustAddRate(src, dst lts.State, rate float64) {
 	}
 }
 
-// markovOut returns the Markovian adjacency, building it on demand.
-func (m *IMC) markovOut() [][]int32 {
-	if m.mout == nil {
-		m.mout = make([][]int32, m.NumStates())
-		for i, t := range m.Markov {
-			m.mout[t.Src] = append(m.mout[t.Src], int32(i))
-		}
-	}
-	return m.mout
+// AppendMarkov bulk-copies already-validated Markovian transitions (e.g.
+// from another IMC over the same state space) and invalidates the cached
+// rate matrix. Use this instead of appending to Markov directly.
+func (m *IMC) AppendMarkov(ts []MTransition) {
+	m.Markov = append(m.Markov, ts...)
+	m.rm = nil
 }
 
-// EachRateFrom calls f for every Markovian transition leaving s.
-func (m *IMC) EachRateFrom(s lts.State, f func(MTransition)) {
-	for _, idx := range m.markovOut()[s] {
-		f(m.Markov[idx])
+// rateMatrix returns the CSR rate matrix over the Markovian transitions,
+// building it on demand through the shared sparse plumbing. Duplicate
+// edges are preserved, so the matrix is a faithful multiset view.
+func (m *IMC) rateMatrix() *sparse.Matrix {
+	if m.rm == nil {
+		nnz := len(m.Markov)
+		rows := make([]int32, nnz)
+		cols := make([]int32, nnz)
+		vals := make([]float64, nnz)
+		for i, t := range m.Markov {
+			rows[i] = int32(t.Src)
+			cols[i] = int32(t.Dst)
+			vals[i] = t.Rate
+		}
+		m.rm = sparse.New(m.NumStates(), rows, cols, vals, nil)
 	}
+	return m.rm
+}
+
+// EachRateFrom calls f for every Markovian transition leaving s, in
+// ascending destination order.
+func (m *IMC) EachRateFrom(s lts.State, f func(MTransition)) {
+	cols, vals := m.rateMatrix().Row(int(s))
+	for i := range cols {
+		f(MTransition{Src: s, Dst: lts.State(cols[i]), Rate: vals[i]})
+	}
+}
+
+// RateDegree returns the number of Markovian transitions leaving s.
+func (m *IMC) RateDegree(s lts.State) int {
+	return m.rateMatrix().RowLen(int(s))
 }
 
 // ExitRate returns the total Markovian exit rate of s.
 func (m *IMC) ExitRate(s lts.State) float64 {
-	total := 0.0
-	m.EachRateFrom(s, func(t MTransition) { total += t.Rate })
-	return total
+	return m.rateMatrix().RowSum(int(s))
 }
 
 // HasInteractive reports whether s has at least one outgoing interactive
@@ -254,9 +278,7 @@ func (m *IMC) ReplaceLabelByRate(label string, rate float64) (*IMC, error) {
 	if rerr != nil {
 		return nil, rerr
 	}
-	for _, t := range m.Markov {
-		out.Markov = append(out.Markov, t)
-	}
+	out.AppendMarkov(m.Markov)
 	if m.NumStates() > 0 {
 		out.Inter.SetInitial(m.Initial())
 	}
@@ -287,9 +309,7 @@ func (m *IMC) ReplaceLabelByRateWithMarker(label string, rate float64, marker st
 		}
 		out.Inter.AddTransition(t.Src, m.Inter.LabelName(t.Label), t.Dst)
 	})
-	for _, t := range m.Markov {
-		out.Markov = append(out.Markov, t)
-	}
+	out.AppendMarkov(m.Markov)
 	if m.NumStates() > 0 {
 		out.Inter.SetInitial(m.Initial())
 	}

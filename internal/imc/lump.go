@@ -172,14 +172,13 @@ func roundRate(r float64) float64 {
 func (m *IMC) CompressTau() *IMC {
 	n := m.NumStates()
 	tau := m.Inter.LookupLabel(lts.Tau)
-	mout := m.markovOut()
 
 	// skip[s] = the unique tau successor when s is a deterministic
 	// vanishing state, else -1.
 	skip := make([]lts.State, n)
 	for s := 0; s < n; s++ {
 		skip[s] = -1
-		if len(mout[s]) > 0 || m.Inter.OutDegree(lts.State(s)) != 1 {
+		if m.RateDegree(lts.State(s)) > 0 || m.Inter.OutDegree(lts.State(s)) != 1 {
 			continue
 		}
 		var only lts.Transition

@@ -1,0 +1,214 @@
+package lts
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Frozen is an immutable, cache-friendly snapshot of an LTS in compressed
+// sparse row (CSR) form. Both the outgoing and the incoming adjacency are
+// materialized once, with the transitions of every row sorted by (label,
+// endpoint), so that hot algorithms — signature-based partition refinement,
+// on-the-fly synchronized products, reachability sweeps — can scan flat
+// int32 arrays instead of chasing per-state slices, and can locate all
+// transitions of a given label in a row by binary search.
+//
+// A Frozen shares nothing with the builder LTS it was created from: later
+// mutations of the builder do not affect it, and it is safe for concurrent
+// readers without synchronization.
+type Frozen struct {
+	name      string
+	initial   State
+	numStates int
+	labels    []string
+	labelIdx  map[string]int
+	tau       int // label id of Tau, or -1 if not interned
+
+	// Outgoing CSR: row s spans outLab/outDst[outOff[s]:outOff[s+1]],
+	// sorted by (label, dst).
+	outOff []int32
+	outLab []int32
+	outDst []int32
+
+	// Incoming CSR: row s spans inLab/inSrc[inOff[s]:inOff[s+1]],
+	// sorted by (label, src).
+	inOff []int32
+	inLab []int32
+	inSrc []int32
+}
+
+// Freeze builds the immutable CSR form of the LTS. The builder remains
+// usable and unchanged; call Freeze again after further mutations to obtain
+// a fresh snapshot.
+func (l *LTS) Freeze() *Frozen {
+	n := l.numStates
+	m := len(l.trans)
+	if m > 1<<31-1 {
+		panic(fmt.Sprintf("lts: %d transitions overflow the CSR index type", m))
+	}
+	f := &Frozen{
+		name:      l.name,
+		initial:   l.initial,
+		numStates: n,
+		labels:    append([]string(nil), l.labels...),
+		labelIdx:  make(map[string]int, len(l.labels)),
+		tau:       -1,
+		outOff:    make([]int32, n+1),
+		outLab:    make([]int32, m),
+		outDst:    make([]int32, m),
+		inOff:     make([]int32, n+1),
+		inLab:     make([]int32, m),
+		inSrc:     make([]int32, m),
+	}
+	for i, lab := range f.labels {
+		f.labelIdx[lab] = i
+		if lab == Tau {
+			f.tau = i
+		}
+	}
+
+	// Counting sort by source (resp. destination) state.
+	for _, t := range l.trans {
+		f.outOff[t.Src+1]++
+		f.inOff[t.Dst+1]++
+	}
+	for s := 0; s < n; s++ {
+		f.outOff[s+1] += f.outOff[s]
+		f.inOff[s+1] += f.inOff[s]
+	}
+	outPos := append([]int32(nil), f.outOff[:n]...)
+	inPos := append([]int32(nil), f.inOff[:n]...)
+	for _, t := range l.trans {
+		p := outPos[t.Src]
+		f.outLab[p] = int32(t.Label)
+		f.outDst[p] = int32(t.Dst)
+		outPos[t.Src]++
+		p = inPos[t.Dst]
+		f.inLab[p] = int32(t.Label)
+		f.inSrc[p] = int32(t.Src)
+		inPos[t.Dst]++
+	}
+	sortCSRRows(f.outOff, f.outLab, f.outDst, n)
+	sortCSRRows(f.inOff, f.inLab, f.inSrc, n)
+	return f
+}
+
+// sortCSRRows sorts each CSR row by (label, endpoint).
+func sortCSRRows(off, lab, end []int32, n int) {
+	for s := 0; s < n; s++ {
+		lo, hi := off[s], off[s+1]
+		if hi-lo < 2 {
+			continue
+		}
+		row := csrRow{lab: lab[lo:hi], end: end[lo:hi]}
+		sort.Sort(row)
+	}
+}
+
+type csrRow struct{ lab, end []int32 }
+
+func (r csrRow) Len() int { return len(r.lab) }
+func (r csrRow) Less(i, j int) bool {
+	if r.lab[i] != r.lab[j] {
+		return r.lab[i] < r.lab[j]
+	}
+	return r.end[i] < r.end[j]
+}
+func (r csrRow) Swap(i, j int) {
+	r.lab[i], r.lab[j] = r.lab[j], r.lab[i]
+	r.end[i], r.end[j] = r.end[j], r.end[i]
+}
+
+// Name returns the descriptive name of the frozen LTS.
+func (f *Frozen) Name() string { return f.name }
+
+// NumStates returns the number of states.
+func (f *Frozen) NumStates() int { return f.numStates }
+
+// NumTransitions returns the number of transitions.
+func (f *Frozen) NumTransitions() int { return len(f.outLab) }
+
+// NumLabels returns the number of interned labels.
+func (f *Frozen) NumLabels() int { return len(f.labels) }
+
+// Initial returns the initial state.
+func (f *Frozen) Initial() State { return f.initial }
+
+// LabelName returns the string of a label index.
+func (f *Frozen) LabelName(id int) string { return f.labels[id] }
+
+// LookupLabel returns the index of label, or -1 if it was never interned.
+func (f *Frozen) LookupLabel(label string) int {
+	if id, ok := f.labelIdx[label]; ok {
+		return id
+	}
+	return -1
+}
+
+// TauID returns the label index of the internal action, or -1 when the
+// frozen LTS has no tau label.
+func (f *Frozen) TauID() int { return f.tau }
+
+// Out returns the outgoing row of s: parallel slices of labels and
+// destinations, sorted by (label, dst). The slices alias the CSR arrays and
+// must not be modified.
+func (f *Frozen) Out(s State) (labels, dsts []int32) {
+	lo, hi := f.outOff[s], f.outOff[s+1]
+	return f.outLab[lo:hi], f.outDst[lo:hi]
+}
+
+// In returns the incoming row of s: parallel slices of labels and sources,
+// sorted by (label, src). The slices alias the CSR arrays and must not be
+// modified.
+func (f *Frozen) In(s State) (labels, srcs []int32) {
+	lo, hi := f.inOff[s], f.inOff[s+1]
+	return f.inLab[lo:hi], f.inSrc[lo:hi]
+}
+
+// OutDegree returns the number of transitions leaving s.
+func (f *Frozen) OutDegree(s State) int { return int(f.outOff[s+1] - f.outOff[s]) }
+
+// Succ returns the destinations of the transitions leaving s with the given
+// label, located by binary search in the label-sorted row. The returned
+// slice aliases the CSR arrays, is sorted ascending (possibly with
+// duplicates), and must not be modified.
+func (f *Frozen) Succ(s State, label int) []int32 {
+	labs, dsts := f.Out(s)
+	lo := sort.Search(len(labs), func(i int) bool { return labs[i] >= int32(label) })
+	hi := lo
+	for hi < len(labs) && labs[hi] == int32(label) {
+		hi++
+	}
+	return dsts[lo:hi]
+}
+
+// EachOut calls fn for every outgoing transition of s in (label, dst)
+// order.
+func (f *Frozen) EachOut(s State, fn func(label int, dst State)) {
+	labs, dsts := f.Out(s)
+	for i := range labs {
+		fn(int(labs[i]), State(dsts[i]))
+	}
+}
+
+// Thaw rebuilds a mutable LTS from the frozen form. States, the initial
+// state, the label table, and the transition multiset are preserved exactly
+// (transitions are emitted in CSR order: by source, then label, then
+// destination).
+func (f *Frozen) Thaw() *LTS {
+	l := New(f.name)
+	l.AddStates(f.numStates)
+	for _, lab := range f.labels {
+		l.LabelID(lab)
+	}
+	for s := 0; s < f.numStates; s++ {
+		labs, dsts := f.Out(State(s))
+		for i := range labs {
+			l.AddTransitionID(State(s), int(labs[i]), State(dsts[i]))
+		}
+	}
+	if f.numStates > 0 {
+		l.SetInitial(f.initial)
+	}
+	return l
+}

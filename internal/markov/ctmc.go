@@ -5,12 +5,17 @@
 // absorption times (used for latency predictions), and a discrete-event
 // simulator for cross-validation. It plays the role of BCG_STEADY and
 // BCG_TRANSIENT in CADP.
+//
+// Transitions are accumulated as labeled triplets; solvers read them
+// through the shared sparse CSR rate matrix (package sparse), which is
+// frozen lazily and invalidated on mutation.
 package markov
 
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"multival/internal/sparse"
 )
 
 // Transition is a rated, optionally labeled CTMC transition.
@@ -22,19 +27,25 @@ type Transition struct {
 
 // CTMC is a finite continuous-time Markov chain with a distinguished
 // initial state.
+//
+// A CTMC is not safe for concurrent use: queries lazily freeze the CSR
+// view on first access (and Add invalidates it), so even read-only
+// methods may write the cache. Guard with a mutex or give each goroutine
+// its own chain when solving concurrently.
 type CTMC struct {
 	numStates int
 	initial   int
 	trans     []Transition
-	out       [][]int32 // adjacency into trans
 	exitRate  []float64
+
+	mat *sparse.Matrix // lazily frozen CSR view of trans (tag = index)
+	tin *sparse.Matrix // lazily built transpose (incoming adjacency)
 }
 
 // NewCTMC creates a CTMC with n states, initial state 0.
 func NewCTMC(n int) *CTMC {
 	return &CTMC{
 		numStates: n,
-		out:       make([][]int32, n),
 		exitRate:  make([]float64, n),
 	}
 }
@@ -71,10 +82,9 @@ func (c *CTMC) Add(src, dst int, rate float64, label string) error {
 	if src == dst {
 		return nil
 	}
-	idx := int32(len(c.trans))
 	c.trans = append(c.trans, Transition{src, dst, rate, label})
-	c.out[src] = append(c.out[src], idx)
 	c.exitRate[src] += rate
+	c.mat, c.tin = nil, nil
 	return nil
 }
 
@@ -85,16 +95,47 @@ func (c *CTMC) MustAdd(src, dst int, rate float64, label string) {
 	}
 }
 
+// matrix returns the frozen CSR rate matrix, building it on demand. Entry
+// tags index back into the transition table, so label lookups survive the
+// CSR permutation.
+func (c *CTMC) matrix() *sparse.Matrix {
+	if c.mat == nil {
+		nnz := len(c.trans)
+		rows := make([]int32, nnz)
+		cols := make([]int32, nnz)
+		vals := make([]float64, nnz)
+		tags := make([]int32, nnz)
+		for i, t := range c.trans {
+			rows[i] = int32(t.Src)
+			cols[i] = int32(t.Dst)
+			vals[i] = t.Rate
+			tags[i] = int32(i)
+		}
+		c.mat = sparse.New(c.numStates, rows, cols, vals, tags)
+	}
+	return c.mat
+}
+
+// incoming returns the transposed rate matrix (incoming adjacency),
+// building it on demand.
+func (c *CTMC) incoming() *sparse.Matrix {
+	if c.tin == nil {
+		c.tin = c.matrix().Transpose()
+	}
+	return c.tin
+}
+
 // ExitRate returns the total outgoing rate of a state (0 for absorbing).
 func (c *CTMC) ExitRate(s int) float64 { return c.exitRate[s] }
 
 // IsAbsorbing reports whether the state has no outgoing transitions.
-func (c *CTMC) IsAbsorbing(s int) bool { return len(c.out[s]) == 0 }
+func (c *CTMC) IsAbsorbing(s int) bool { return c.exitRate[s] == 0 }
 
-// EachFrom calls f for every transition leaving s.
+// EachFrom calls f for every transition leaving s, in ascending
+// destination order.
 func (c *CTMC) EachFrom(s int, f func(Transition)) {
-	for _, idx := range c.out[s] {
-		f(c.trans[idx])
+	for _, tag := range c.matrix().RowTags(s) {
+		f(c.trans[tag])
 	}
 }
 
@@ -120,100 +161,5 @@ func (c *CTMC) MaxExitRate() float64 {
 // bsccs returns the bottom strongly connected components (those with no
 // transition leaving the component), each sorted ascending.
 func (c *CTMC) bsccs() [][]int {
-	// Tarjan (iterative) over the transition graph.
-	const unvisited = -1
-	n := c.numStates
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	comp := make([]int, n) // state -> component id
-	for i := range index {
-		index[i] = unvisited
-		comp[i] = -1
-	}
-	var (
-		stack   []int
-		counter int
-		comps   [][]int
-	)
-	type frame struct {
-		s, edge int
-	}
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		callStack := []frame{{root, 0}}
-		index[root], low[root] = counter, counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-		for len(callStack) > 0 {
-			f := &callStack[len(callStack)-1]
-			advanced := false
-			for f.edge < len(c.out[f.s]) {
-				t := c.trans[c.out[f.s][f.edge]]
-				f.edge++
-				w := t.Dst
-				if index[w] == unvisited {
-					index[w], low[w] = counter, counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{w, 0})
-					advanced = true
-					break
-				}
-				if onStack[w] && index[w] < low[f.s] {
-					low[f.s] = index[w]
-				}
-			}
-			if advanced {
-				continue
-			}
-			s := f.s
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				p := &callStack[len(callStack)-1]
-				if low[s] < low[p.s] {
-					low[p.s] = low[s]
-				}
-			}
-			if low[s] == index[s] {
-				id := len(comps)
-				var members []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = id
-					members = append(members, w)
-					if w == s {
-						break
-					}
-				}
-				sort.Ints(members)
-				comps = append(comps, members)
-			}
-		}
-	}
-	// A component is bottom iff no member has a transition out of it.
-	var bsccs [][]int
-	for id, members := range comps {
-		bottom := true
-		for _, s := range members {
-			c.EachFrom(s, func(t Transition) {
-				if comp[t.Dst] != id {
-					bottom = false
-				}
-			})
-			if !bottom {
-				break
-			}
-		}
-		if bottom {
-			bsccs = append(bsccs, members)
-		}
-	}
-	return bsccs
+	return c.matrix().BottomSCCs()
 }

@@ -256,12 +256,10 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 		}
 		isTarget[s] = true
 	}
-	// Reachability check (backwards from targets).
+	// Reachability check (backwards from targets, over the shared
+	// transposed rate matrix).
 	canReach := make([]bool, n)
-	rin := make([][]int, n)
-	for i, t := range c.trans {
-		rin[t.Dst] = append(rin[t.Dst], i)
-	}
+	tin := c.incoming()
 	var stack []int
 	for s := range isTarget {
 		if isTarget[s] {
@@ -272,11 +270,11 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, ti := range rin[s] {
-			src := c.trans[ti].Src
+		srcs, _ := tin.Row(s)
+		for _, src := range srcs {
 			if !canReach[src] {
 				canReach[src] = true
-				stack = append(stack, src)
+				stack = append(stack, int(src))
 			}
 		}
 	}

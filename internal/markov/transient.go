@@ -52,13 +52,12 @@ func (c *CTMC) Transient(t float64, opts SolveOptions) ([]float64, error) {
 		if k == maxK {
 			break
 		}
-		// next = cur * P with P = I + Q/lambda.
+		// next = cur * P with P = I + Q/lambda, via the shared CSR
+		// rate matrix.
 		for i := range next {
 			next[i] = cur[i] * (1 - c.exitRate[i]/lambda)
 		}
-		for _, tr := range c.trans {
-			next[tr.Dst] += cur[tr.Src] * tr.Rate / lambda
-		}
+		c.matrix().AddApplyT(cur, next, 1/lambda)
 		cur, next = next, cur
 	}
 	// Normalize the truncation error.

@@ -70,9 +70,17 @@ func (m *Model) States() int { return m.L.NumStates() }
 // Transitions returns the number of transitions.
 func (m *Model) Transitions() int { return m.L.NumTransitions() }
 
-// Minimize returns the quotient modulo the relation.
+// Minimize returns the quotient modulo the relation, computed by the
+// CSR-backed parallel refinement engine with default options.
 func (m *Model) Minimize(rel Relation) *Model {
 	q, _ := bisim.Minimize(m.L, rel)
+	return &Model{L: q}
+}
+
+// MinimizeWith is Minimize with an explicit refinement worker count
+// (0 = GOMAXPROCS).
+func (m *Model) MinimizeWith(rel Relation, workers int) *Model {
+	q, _ := bisim.MinimizeOpt(m.L, rel, bisim.Options{Workers: workers})
 	return &Model{L: q}
 }
 
@@ -235,9 +243,7 @@ func (p *PerfModel) MeanTimeTo(label string, sched imc.Scheduler) (float64, erro
 	if !found {
 		return 0, fmt.Errorf("multival: label %q never occurs", label)
 	}
-	for _, t := range mp.Markov {
-		redirected.Markov = append(redirected.Markov, t)
-	}
+	redirected.AppendMarkov(mp.Markov)
 	redirected.Inter.SetInitial(mp.Initial())
 
 	res, err := redirected.ToCTMC(sched)
