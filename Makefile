@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench bench-engine check
+.PHONY: build test vet race smoke bench bench-engine check
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Race-enabled tests of the concurrent layers: the parallel refinement
+# engine and the pipeline package (root), which minimizes composition
+# operands concurrently.
+race:
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose
+
+# One tiny pipeline through every CLI binary; flag regressions fail here.
+smoke:
+	./scripts/smoke.sh
+
 # Full benchmark suite (one run per experiment + engine micro-benchmarks).
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
@@ -20,4 +30,4 @@ bench:
 bench-engine:
 	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
 
-check: build vet test
+check: build vet test race smoke

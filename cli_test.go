@@ -1,10 +1,14 @@
 package multival
 
-// End-to-end smoke tests of the command-line tools: the CADP-style
-// pipeline generate -> reduce -> compare -> evaluate -> solve over .aut
-// files, exercised exactly as a user would from the shell.
+// End-to-end tests of the command-line tools: the CADP-style pipeline
+// generate -> reduce -> compare -> evaluate -> solve over .aut files,
+// exercised exactly as a user would from the shell, through the shared
+// cmd/internal/cli toolkit. Includes golden-output checks (the .aut
+// writer is canonical, so outputs are byte-deterministic) and the
+// -timeout cancellation path.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -15,20 +19,27 @@ import (
 // runTool invokes a cmd/<tool> via `go run` and returns stdout.
 func runTool(t *testing.T, expectOK bool, args ...string) string {
 	t.Helper()
-	cmd := exec.Command("go", append([]string{"run", "./cmd/" + args[0]}, args[1:]...)...)
-	cmd.Dir = "."
-	out, err := cmd.Output()
+	out, stderr, err := runToolCapture(t, args...)
 	if expectOK && err != nil {
-		stderr := ""
-		if ee, ok := err.(*exec.ExitError); ok {
-			stderr = string(ee.Stderr)
-		}
 		t.Fatalf("%v failed: %v\n%s", args, err, stderr)
 	}
 	if !expectOK && err == nil {
 		t.Fatalf("%v unexpectedly succeeded", args)
 	}
-	return string(out)
+	return out
+}
+
+// runToolCapture invokes a cmd/<tool> via `go run` and returns stdout,
+// stderr and the exit error, if any.
+func runToolCapture(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + args[0]}, args[1:]...)...)
+	cmd.Dir = "."
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err = cmd.Run()
+	return outBuf.String(), errBuf.String(), err
 }
 
 func TestCLIPipeline(t *testing.T) {
@@ -78,6 +89,91 @@ behaviour Buf
 	out = runTool(t, true, "solve", "-rate", "put=1", "-rate", "get=2", "-marker", "get", minAut)
 	if !strings.Contains(out, "throughputs:") || !strings.Contains(out, "steady-state") {
 		t.Fatalf("solve output: %q", out)
+	}
+}
+
+// goldenBufAut is the canonical serialization of the one-place buffer:
+// the .aut writer is deterministic, so generate and reduce must
+// reproduce it byte for byte.
+const goldenBufAut = `des (0, 4, 3)
+(0, "put !0", 1)
+(0, "put !1", 2)
+(1, "get !0", 0)
+(2, "get !1", 0)
+`
+
+// TestCLIGoldenOutputs drives generate | reduce through the shared cli
+// path and compares the exact bytes against the golden serialization.
+func TestCLIGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "buf.lotos")
+	if err := os.WriteFile(spec, []byte(`
+process Buf :=
+    put ?x:0..1 ; get !x ; Buf
+endproc
+behaviour Buf
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// generate to stdout: golden bytes.
+	out := runTool(t, true, "generate", "-lotos", spec)
+	if out != goldenBufAut {
+		t.Fatalf("generate output:\n%q\nwant:\n%q", out, goldenBufAut)
+	}
+
+	// generate -o file, then reduce (already minimal modulo strong):
+	// same golden bytes, via the -o path of the toolkit.
+	rawAut := filepath.Join(dir, "buf.aut")
+	minAut := filepath.Join(dir, "buf.min.aut")
+	runTool(t, true, "generate", "-lotos", spec, "-o", rawAut)
+	runTool(t, true, "reduce", "-rel", "strong", "-o", minAut, rawAut)
+	got, err := os.ReadFile(minAut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goldenBufAut {
+		t.Fatalf("reduce output:\n%q\nwant:\n%q", got, goldenBufAut)
+	}
+}
+
+// TestCLITimeoutAborts: an immediate -timeout cancels the pipeline and
+// the tool reports the deadline instead of producing output.
+func TestCLITimeoutAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	aut := filepath.Join(dir, "m.aut")
+	if err := os.WriteFile(aut, []byte(goldenBufAut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, err := runToolCapture(t, "reduce", "-timeout", "1ns", "-rel", "branching", aut)
+	if err == nil {
+		t.Fatal("reduce with an expired timeout succeeded")
+	}
+	if !strings.Contains(stderr, "context deadline exceeded") {
+		t.Fatalf("stderr = %q, want a deadline error", stderr)
+	}
+}
+
+// TestCLISolveTransient exercises the -at flag through the pipeline
+// path.
+func TestCLISolveTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	aut := filepath.Join(dir, "m.aut")
+	if err := os.WriteFile(aut, []byte(goldenBufAut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, true, "solve", "-rate", "put=1", "-rate", "get=2", "-marker", "get", "-at", "0.5", aut)
+	if !strings.Contains(out, "state probabilities at t=0.5") || !strings.Contains(out, "throughputs:") {
+		t.Fatalf("solve -at output: %q", out)
 	}
 }
 

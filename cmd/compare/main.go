@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	compare -rel branching a.aut b.aut
+//	compare -rel branching [-workers N] [-timeout D] a.aut b.aut
 package main
 
 import (
@@ -14,35 +14,36 @@ import (
 	"os"
 	"strings"
 
-	"multival/internal/aut"
-	"multival/internal/bisim"
-	"multival/internal/lts"
+	"multival/cmd/internal/cli"
 )
 
 func main() {
+	c := cli.New("compare")
 	rel := flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
-	workers := flag.Int("workers", 0, "refinement worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: compare [-rel R] a.aut b.aut")
-		os.Exit(2)
+		c.Usage("compare [-rel R] [-workers N] [-timeout D] [-progress] a.aut b.aut")
 	}
-	relation, err := parseRelation(*rel)
+	relation, err := cli.ParseRelation(*rel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(2)
+		c.Fatal(2, err)
 	}
-	a, err := load(flag.Arg(0))
+	a, err := cli.LoadLTS(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(2)
+		c.Fatal(2, err)
 	}
-	b, err := load(flag.Arg(1))
+	b, err := cli.LoadLTS(flag.Arg(1))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(2)
+		c.Fatal(2, err)
 	}
-	res := bisim.CompareOpt(a, b, relation, bisim.Options{Workers: *workers})
+	ctx, cancel := c.Context()
+	defer cancel()
+
+	eng := c.Engine()
+	res, err := eng.Compare(ctx, eng.FromLTS(a), eng.FromLTS(b), relation)
+	if err != nil {
+		c.Fatal(2, err)
+	}
 	if res.Equivalent {
 		fmt.Printf("TRUE (%s equivalence)\n", relation)
 		return
@@ -52,28 +53,4 @@ func main() {
 		fmt.Printf("distinguishing trace: %s\n", strings.Join(res.Counterexample, " . "))
 	}
 	os.Exit(1)
-}
-
-func load(path string) (*lts.LTS, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return aut.Read(f)
-}
-
-func parseRelation(s string) (bisim.Relation, error) {
-	switch s {
-	case "strong":
-		return bisim.Strong, nil
-	case "branching":
-		return bisim.Branching, nil
-	case "divbranching":
-		return bisim.DivBranching, nil
-	case "trace":
-		return bisim.Trace, nil
-	default:
-		return 0, fmt.Errorf("unknown relation %q", s)
-	}
 }

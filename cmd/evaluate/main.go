@@ -15,11 +15,12 @@ import (
 	"os"
 	"strings"
 
-	"multival/internal/aut"
+	"multival/cmd/internal/cli"
 	"multival/internal/mcl"
 )
 
 func main() {
+	c := cli.New("evaluate")
 	var (
 		formula   = flag.String("f", "", "mu-calculus formula")
 		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
@@ -27,8 +28,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: evaluate (-f FORMULA | -deadlock | -reachable LABEL) model.aut")
-		os.Exit(2)
+		c.Usage("evaluate (-f FORMULA | -deadlock | -reachable LABEL) model.aut")
 	}
 	var f mcl.Formula
 	switch {
@@ -40,30 +40,25 @@ func main() {
 		var err error
 		f, err = mcl.Parse(*formula)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(2)
+			c.Fatal(2, err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "evaluate: no property given")
-		os.Exit(2)
+		c.Fatal(2, fmt.Errorf("no property given"))
 	}
 
-	file, err := os.Open(flag.Arg(0))
+	l, err := cli.LoadLTS(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evaluate:", err)
-		os.Exit(2)
+		c.Fatal(2, err)
 	}
-	defer file.Close()
-	l, err := aut.Read(file)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "evaluate:", err)
-		os.Exit(2)
-	}
+	ctx, cancel := c.Context()
+	defer cancel()
 
-	res, err := mcl.Verify(l, f)
+	// mcl.Verify takes no context; the watchdog gives -timeout teeth.
+	res, err := cli.Watchdog(ctx, func() (mcl.Result, error) {
+		return mcl.Verify(l, f)
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evaluate:", err)
-		os.Exit(2)
+		c.Fatal(2, err)
 	}
 	verdict := "FALSE"
 	if res.Holds {

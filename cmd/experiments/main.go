@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments E4 E6      # run selected experiments
+//	experiments                      # run everything
+//	experiments E4 E6                # run selected experiments
+//	experiments -timeout 2m          # bound the whole run
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+
+	"multival/cmd/internal/cli"
 
 	"multival/internal/bisim"
 	"multival/internal/chp"
@@ -43,14 +47,25 @@ var experiments = []struct {
 }
 
 func main() {
+	c := cli.New("experiments")
+	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
+
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[strings.ToUpper(a)] = true
 	}
 	failed := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		// The run budget (-timeout) is enforced between experiments.
+		if err := ctx.Err(); err != nil {
+			fmt.Printf("ERROR: run budget exhausted before %s: %v\n", e.id, err)
+			failed++
+			break
 		}
 		fmt.Printf("==== %s: %s ====\n", e.id, e.title)
 		if err := e.run(); err != nil {

@@ -8,31 +8,31 @@
 //	generate -model faust-router -ports 3
 //	generate -model fame-coherence -nodes 3 -protocol MESI
 //
-// The LTS is written to stdout (or -o file).
+// The LTS is written to stdout (or -o file). DSL generation runs through
+// the shared engine: -max-states bounds it, -timeout cancels it
+// mid-worklist, -progress reports explored states.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
-	"multival/internal/aut"
+	"multival/cmd/internal/cli"
 	"multival/internal/chp"
 	"multival/internal/fame"
 	"multival/internal/faust"
-	"multival/internal/lotos"
 	"multival/internal/lts"
-	"multival/internal/process"
 	"multival/internal/xstream"
 )
 
 func main() {
+	c := cli.New("generate").MaxStatesFlag(1 << 20)
 	var (
 		lotosFile = flag.String("lotos", "", "LOTOS-like specification file")
 		model     = flag.String("model", "", "built-in model: xstream | xstream-buggy | faust-router | faust-fork | fame-coherence")
 		out       = flag.String("o", "", "output file (default stdout)")
-		maxStates = flag.Int("max-states", 1<<20, "state-space bound")
 		capacity  = flag.Int("capacity", 3, "xstream queue capacity")
 		values    = flag.Int("values", 2, "number of data values")
 		ports     = flag.Int("ports", 3, "faust router ports (2..5)")
@@ -41,51 +41,44 @@ func main() {
 		handshake = flag.Bool("handshake", false, "expand channels into req/ack handshakes (faust-router)")
 	)
 	flag.Parse()
+	ctx, cancel := c.Context()
+	defer cancel()
 
-	l, err := build(*lotosFile, *model, buildOptions{
-		maxStates: *maxStates, capacity: *capacity, values: *values,
-		ports: *ports, nodes: *nodes, protocol: *protocol, handshake: *handshake,
+	// The builtin generators take no context; the watchdog gives
+	// -timeout teeth there too (the LOTOS path cancels mid-worklist).
+	l, err := cli.Watchdog(ctx, func() (*lts.LTS, error) {
+		return build(ctx, c, *lotosFile, *model, buildOptions{
+			capacity: *capacity, values: *values,
+			ports: *ports, nodes: *nodes, protocol: *protocol, handshake: *handshake,
+		})
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "generate:", err)
-		os.Exit(1)
+		c.Fatal(1, err)
 	}
-
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "generate:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := aut.Write(w, l); err != nil {
-		fmt.Fprintln(os.Stderr, "generate:", err)
-		os.Exit(1)
+	if err := cli.StoreLTS(*out, l); err != nil {
+		c.Fatal(1, err)
 	}
 	fmt.Fprintf(os.Stderr, "%s\n", l)
 }
 
 type buildOptions struct {
-	maxStates, capacity, values, ports, nodes int
-	protocol                                  string
-	handshake                                 bool
+	capacity, values, ports, nodes int
+	protocol                       string
+	handshake                      bool
 }
 
-func build(lotosFile, model string, o buildOptions) (*lts.LTS, error) {
+func build(ctx context.Context, c *cli.Common, lotosFile, model string, o buildOptions) (*lts.LTS, error) {
 	switch {
 	case lotosFile != "":
 		src, err := os.ReadFile(lotosFile)
 		if err != nil {
 			return nil, err
 		}
-		sys, err := lotos.Parse(string(src))
+		m, err := c.Engine().FromLOTOS(ctx, string(src))
 		if err != nil {
 			return nil, err
 		}
-		return sys.Generate(process.GenOptions{MaxStates: o.maxStates})
+		return m.L, nil
 
 	case model == "xstream":
 		return xstream.FunctionalModel(xstream.Config{
@@ -97,7 +90,7 @@ func build(lotosFile, model string, o buildOptions) (*lts.LTS, error) {
 		})
 	case model == "faust-router":
 		return faust.RouterLTS(faust.RouterConfig{Ports: o.ports},
-			chp.Options{HandshakeExpand: o.handshake}, o.maxStates)
+			chp.Options{HandshakeExpand: o.handshake}, c.MaxStates)
 	case model == "faust-fork":
 		return faust.ForkSpec(o.values)
 	case model == "fame-coherence":

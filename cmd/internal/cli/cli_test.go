@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multival"
+	"multival/internal/lts"
+)
+
+func TestParseRelation(t *testing.T) {
+	for s, want := range map[string]multival.Relation{
+		"strong":       multival.Strong,
+		"branching":    multival.Branching,
+		"divbranching": multival.DivBranching,
+		"trace":        multival.Trace,
+	} {
+		got, err := ParseRelation(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRelation(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseRelation("weak"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestGates(t *testing.T) {
+	if got := Gates(""); got != nil {
+		t.Errorf("Gates(\"\") = %v", got)
+	}
+	got := Gates(" a, b ,c,,")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Gates = %v", got)
+	}
+}
+
+func TestRateFlag(t *testing.T) {
+	var r RateFlag
+	if err := r.Set("push=1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("pop=2"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rates["push"] != 1.5 || r.Rates["pop"] != 2 {
+		t.Fatalf("rates = %v", r.Rates)
+	}
+	if err := r.Set("oops"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if err := r.Set("g=fast"); err == nil {
+		t.Fatal("non-numeric rate accepted")
+	}
+	if !strings.Contains(r.String(), "push=1.5") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	l := lts.New("rt")
+	l.AddStates(2)
+	l.AddTransition(0, "a b", 1)
+	l.AddTransition(1, "i", 0)
+	l.SetInitial(0)
+
+	path := filepath.Join(t.TempDir(), "rt.aut")
+	if err := StoreLTS(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLTS(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lts.Isomorphic(l, got) {
+		t.Fatalf("round trip changed the LTS:\n%s\nvs\n%s", l.Dump(), got.Dump())
+	}
+	if _, err := LoadLTS(filepath.Join(t.TempDir(), "missing.aut")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+func TestEngineFromFlags(t *testing.T) {
+	c := &Common{Tool: "test", Workers: 3, MaxStates: 99}
+	eng := c.Engine()
+	opts := eng.Options()
+	if opts.Workers != 3 || opts.MaxStates != 99 {
+		t.Fatalf("engine options = %+v", opts)
+	}
+	// Extras win over the shared flags.
+	eng = c.Engine(multival.WithMaxStates(7))
+	if got := eng.Options().MaxStates; got != 7 {
+		t.Fatalf("extra option lost: MaxStates = %d", got)
+	}
+}
+
+func TestProgressPrinterThrottles(t *testing.T) {
+	var sb strings.Builder
+	f := ProgressPrinter("t", &sb)
+	for i := 0; i < 100; i++ {
+		f(multival.Progress{Stage: "compose", States: i})
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 1 {
+		t.Fatalf("printed %d lines in a burst, want 1 (throttled)", n)
+	}
+}

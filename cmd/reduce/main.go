@@ -1,85 +1,53 @@
 // Command reduce minimizes an LTS modulo a behavioural equivalence,
-// playing the role of CADP's BCG_MIN.
+// playing the role of CADP's BCG_MIN. It drives the shared Pipeline API:
+// load, optional hiding, minimization, store.
 //
 // Usage:
 //
-//	reduce -rel branching [-hide gate1,gate2] in.aut > out.aut
+//	reduce -rel branching [-hide gate1,gate2] [-workers N] [-timeout D] in.aut > out.aut
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"multival/internal/aut"
-	"multival/internal/bisim"
+	"multival/cmd/internal/cli"
 )
 
 func main() {
+	c := cli.New("reduce")
 	var (
-		rel     = flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
-		hide    = flag.String("hide", "", "comma-separated gates to hide before reducing")
-		workers = flag.Int("workers", 0, "refinement worker goroutines (0 = GOMAXPROCS)")
+		rel  = flag.String("rel", "branching", "relation: strong | branching | divbranching | trace")
+		hide = flag.String("hide", "", "comma-separated gates to hide before reducing")
+		out  = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: reduce [-rel R] [-hide g1,g2] in.aut")
-		os.Exit(2)
+		c.Usage("reduce [-rel R] [-hide g1,g2] [-workers N] [-timeout D] [-progress] in.aut")
 	}
-	relation, err := parseRelation(*rel)
+	relation, err := cli.ParseRelation(*rel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "reduce:", err)
-		os.Exit(1)
+		c.Fatal(2, err)
 	}
-	f, err := os.Open(flag.Arg(0))
+	l, err := cli.LoadLTS(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "reduce:", err)
-		os.Exit(1)
+		c.Fatal(1, err)
 	}
-	defer f.Close()
-	l, err := aut.Read(f)
+	ctx, cancel := c.Context()
+	defer cancel()
+
+	eng := c.Engine()
+	q, err := eng.Compose(eng.FromLTS(l)).
+		Hide(cli.Gates(*hide)...).
+		Minimize(relation).
+		Model(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "reduce:", err)
-		os.Exit(1)
+		c.Fatal(1, err)
 	}
-	if *hide != "" {
-		gates := map[string]bool{}
-		for _, g := range strings.Split(*hide, ",") {
-			gates[strings.TrimSpace(g)] = true
-		}
-		l = l.Hide(func(label string) bool {
-			return gates[gateOf(label)]
-		})
-	}
-	before := l.Stats()
-	q, _ := bisim.MinimizeOpt(l, relation, bisim.Options{Workers: *workers})
-	if err := aut.Write(os.Stdout, q); err != nil {
-		fmt.Fprintln(os.Stderr, "reduce:", err)
-		os.Exit(1)
+	if err := cli.StoreLTS(*out, q.L); err != nil {
+		c.Fatal(1, err)
 	}
 	fmt.Fprintf(os.Stderr, "reduce(%s): %d states, %d transitions -> %d states, %d transitions\n",
-		relation, before.States, before.Transitions, q.NumStates(), q.NumTransitions())
-}
-
-func parseRelation(s string) (bisim.Relation, error) {
-	switch s {
-	case "strong":
-		return bisim.Strong, nil
-	case "branching":
-		return bisim.Branching, nil
-	case "divbranching":
-		return bisim.DivBranching, nil
-	case "trace":
-		return bisim.Trace, nil
-	default:
-		return 0, fmt.Errorf("unknown relation %q", s)
-	}
-}
-
-func gateOf(label string) string {
-	if i := strings.IndexByte(label, ' '); i >= 0 {
-		return label[:i]
-	}
-	return label
+		relation, l.NumStates(), l.NumTransitions(), q.States(), q.Transitions())
 }

@@ -1,141 +1,88 @@
 // Command solve runs the performance-evaluation flow on an LTS: delays
 // are attached to labels as exponential rates, the resulting Interactive
 // Markov Chain is lumped and transformed into a CTMC, and steady-state
-// measures (state probabilities and action throughputs) are printed —
-// playing the role of CADP's BCG_STEADY.
+// (or transient) measures — state probabilities and action throughputs —
+// are printed, playing the role of CADP's BCG_STEADY / BCG_TRANSIENT.
+// The whole flow is one Pipeline of the shared engine API.
 //
 // Usage:
 //
-//	solve -rate 'push=1.5' -rate 'pop=2' [-marker pop] model.aut
+//	solve -rate 'push=1.5' -rate 'pop=2' [-marker pop] [-at T] model.aut
 //
 // Labels are matched per gate: every label of the gate gets the rate.
-// Gates named by -marker keep a visible completion event so their
-// throughput is reported.
+// A -rate gate with no transitions in the model is an error (it would
+// silently skew the chain otherwise). Gates named by -marker keep a
+// visible completion event so their throughput is reported.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"sort"
-	"strconv"
-	"strings"
 
-	"multival/internal/aut"
-	"multival/internal/imc"
-	"multival/internal/lts"
+	"multival"
+	"multival/cmd/internal/cli"
 )
 
-type rateFlags []string
-
-func (r *rateFlags) String() string     { return strings.Join(*r, ",") }
-func (r *rateFlags) Set(v string) error { *r = append(*r, v); return nil }
-
 func main() {
-	var rates rateFlags
+	c := cli.New("solve")
+	var rates cli.RateFlag
 	flag.Var(&rates, "rate", "gate=rate (repeatable)")
-	markers := flag.String("marker", "", "comma-separated gates whose throughput to report")
-	uniform := flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
+	var (
+		markers = flag.String("marker", "", "comma-separated gates whose throughput to report")
+		uniform = flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
+		at      = flag.Float64("at", -1, "solve the transient distribution at this time instead of the steady state")
+	)
 	flag.Parse()
-	if flag.NArg() != 1 || len(rates) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: solve -rate gate=RATE [...] [-marker g1,g2] model.aut")
-		os.Exit(2)
+	if flag.NArg() != 1 || len(rates.Rates) == 0 {
+		c.Usage("solve -rate gate=RATE [...] [-marker g1,g2] [-uniform-scheduler] [-at T] [-timeout D] model.aut")
 	}
 
-	file, err := os.Open(flag.Arg(0))
+	l, err := cli.LoadLTS(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		c.Fatal(2, err)
 	}
-	defer file.Close()
-	l, err := aut.Read(file)
-	if err != nil {
-		fatal(err)
-	}
+	ctx, cancel := c.Context()
+	defer cancel()
 
-	markerSet := map[string]bool{}
-	if *markers != "" {
-		for _, g := range strings.Split(*markers, ",") {
-			markerSet[strings.TrimSpace(g)] = true
-		}
-	}
-
-	m := imc.FromLTS(l)
-	for _, spec := range rates {
-		gate, rateStr, ok := strings.Cut(spec, "=")
-		if !ok {
-			fatal(fmt.Errorf("bad -rate %q (want gate=rate)", spec))
-		}
-		rate, err := strconv.ParseFloat(rateStr, 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad rate in %q: %v", spec, err))
-		}
-		for _, label := range labelsOfGate(l, gate) {
-			if markerSet[gate] {
-				m, err = m.ReplaceLabelByRateWithMarker(label, rate, label)
-			} else {
-				m, err = m.ReplaceLabelByRate(label, rate)
-			}
-			if err != nil {
-				fatal(err)
-			}
-		}
-	}
-
-	lumped, _ := m.Lump()
-	fmt.Printf("IMC: %v -> lumped %v\n", m.Stats(), lumped.Stats())
-
-	var sched imc.Scheduler
+	var extra []multival.Option
 	if *uniform {
-		sched = imc.UniformScheduler{}
+		extra = append(extra, multival.WithScheduler(multival.UniformScheduler{}))
 	}
-	res, err := lumped.MaximalProgress().ToCTMC(sched)
+	eng := c.Engine(extra...)
+
+	pm, err := eng.Compose(eng.FromLTS(l)).
+		DecorateGateRates(rates.Rates, cli.Gates(*markers)...).
+		Lump().
+		Perf(ctx)
 	if err != nil {
-		fatal(err)
+		c.Fatal(1, err)
 	}
-	pi, err := res.SteadyState()
+	fmt.Printf("IMC: lumped to %d states (input LTS: %d states)\n", pm.States(), l.NumStates())
+
+	var ms *multival.Measures
+	if *at >= 0 {
+		ms, err = pm.Transient(ctx, *at)
+	} else {
+		ms, err = pm.SteadyState(ctx)
+	}
 	if err != nil {
-		fatal(err)
+		c.Fatal(1, err)
 	}
-	fmt.Printf("CTMC: %d states\n", res.Chain.NumStates())
-	fmt.Println("steady-state probabilities:")
-	for i, p := range pi {
+	fmt.Printf("CTMC: %d states\n", ms.CTMCStates)
+	if *at >= 0 {
+		fmt.Printf("state probabilities at t=%g:\n", *at)
+	} else {
+		fmt.Println("steady-state probabilities:")
+	}
+	for i, p := range ms.Pi {
 		if p > 1e-12 {
-			fmt.Printf("  state %4d (imc %4d): %.6f\n", i, res.StateOf[i], p)
+			fmt.Printf("  state %4d (imc %4d): %.6f\n", i, ms.StateOf[i], p)
 		}
 	}
-	labels := res.Labels()
-	if len(labels) > 0 {
+	if len(ms.Throughputs) > 0 {
 		fmt.Println("throughputs:")
-		for _, lab := range labels {
-			fmt.Printf("  %-20s %.6f /time-unit\n", lab, res.ThroughputOf(pi, lab))
+		for _, lab := range cli.SortedKeys(ms.Throughputs) {
+			fmt.Printf("  %-20s %.6f /time-unit\n", lab, ms.Throughputs[lab])
 		}
 	}
-}
-
-func labelsOfGate(l *lts.LTS, gate string) []string {
-	set := map[string]bool{}
-	l.EachTransition(func(t lts.Transition) {
-		lab := l.LabelName(t.Label)
-		if gateOf(lab) == gate {
-			set[lab] = true
-		}
-	})
-	out := make([]string, 0, len(set))
-	for lab := range set {
-		out = append(out, lab)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func gateOf(label string) string {
-	if i := strings.IndexByte(label, ' '); i >= 0 {
-		return label[:i]
-	}
-	return label
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "solve:", err)
-	os.Exit(1)
 }

@@ -1,20 +1,26 @@
 // NoC router example: formal verification of the FAUST asynchronous
 // network-on-chip router (paper §3) — CHP description, translation to the
 // process calculus, state-space generation, model checking, and the
-// isochronous-fork equivalence results.
+// isochronous-fork equivalence results, with the comparisons running
+// through the context-aware engine facade.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"multival/internal/bisim"
+	"multival"
 	"multival/internal/chp"
 	"multival/internal/faust"
 	"multival/internal/mcl"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	eng := multival.NewEngine()
 	// ---- Router verification ----
 	cfg := faust.RouterConfig{Ports: 3}
 	l, err := faust.RouterLTS(cfg, chp.Options{}, 1<<20)
@@ -46,20 +52,25 @@ func main() {
 
 	// ---- Isochronous fork ----
 	fmt.Println("\nisochronous fork (handshake level):")
-	spec, err := faust.ForkSpec(2)
+	forkSpec, err := faust.ForkSpec(2)
 	if err != nil {
 		log.Fatal(err)
 	}
+	spec := eng.FromLTS(forkSpec)
 	for _, v := range []faust.ForkVariant{faust.ForkWaitBoth, faust.ForkIsochronic, faust.ForkUnsafe} {
-		impl, err := faust.ForkImpl(2, v)
+		forkImpl, err := faust.ForkImpl(2, v)
 		if err != nil {
 			log.Fatal(err)
 		}
-		eq := bisim.Equivalent(spec, impl, bisim.Branching)
-		fmt.Printf("  %-12s ~ spec: %v\n", v, eq)
-		if !eq {
-			if res := bisim.Compare(spec, impl, bisim.Trace); len(res.Counterexample) > 0 {
-				fmt.Printf("    counterexample: %v\n", res.Counterexample)
+		impl := eng.FromLTS(forkImpl)
+		res, err := eng.Compare(ctx, spec, impl, multival.Branching)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s ~ spec: %v\n", v, res.Equivalent)
+		if !res.Equivalent {
+			if tr, err := eng.Compare(ctx, spec, impl, multival.Trace); err == nil && len(tr.Counterexample) > 0 {
+				fmt.Printf("    counterexample: %v\n", tr.Counterexample)
 			}
 		}
 	}

@@ -1,11 +1,16 @@
 // Quickstart: the complete Multival flow on a two-place communication
 // buffer — model in the LOTOS-like DSL, verify functional properties,
-// minimize, then decorate with delays and compute performance measures.
+// minimize, then decorate with delays and compute performance measures,
+// all through the engine-first Pipeline API (context-aware, cancellable,
+// with typed errors).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"multival"
 )
@@ -23,9 +28,21 @@ behaviour
 `
 
 func main() {
+	// Every long-running operation takes a context and reports typed
+	// errors; a deadline aborts generation/refinement mid-round.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// ---- Engine: configure once, thread everywhere ----
+	eng := multival.NewEngine(
+		multival.WithMaxStates(1 << 20),
+	)
+
 	// ---- Formal modeling flow (paper §2) ----
-	m, err := multival.FromLOTOS(spec, 0)
-	if err != nil {
+	m, err := eng.FromLOTOS(ctx, spec)
+	if errors.Is(err, multival.ErrStateBound) {
+		log.Fatal("state space exceeds the bound; raise WithMaxStates")
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("state space: %d states, %d transitions\n", m.States(), m.Transitions())
@@ -50,28 +67,47 @@ func main() {
 	}
 	fmt.Printf("FIFO first-out:       %v\n", res.Holds)
 
-	min := m.Minimize(multival.Branching)
-	fmt.Printf("branching quotient:   %d states (from %d)\n", min.States(), m.States())
-	cmp := m.EquivalentTo(min, multival.Branching)
-	fmt.Printf("quotient equivalent:  %v\n", cmp.Equivalent)
-
-	// ---- Performance evaluation flow (paper §4) ----
-	// Direct decoration: puts arrive at rate 1, gets are served at rate 2.
-	p, err := m.DecorateRates(map[string]float64{
-		"put !0": 0.5, "put !1": 0.5, // total arrival rate 1
-		"get !0": 2, "get !1": 2,
-	})
+	min, err := eng.Minimize(ctx, m, multival.Branching)
 	if err != nil {
 		log.Fatal(err)
 	}
-	lumped := p.Lump()
-	fmt.Printf("IMC:                  %d states, lumped %d\n", p.States(), lumped.States())
-	ms, err := lumped.SteadyState(nil)
+	fmt.Printf("branching quotient:   %d states (from %d)\n", min.States(), m.States())
+	cmp, err := eng.Compare(ctx, m, min, multival.Branching)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quotient equivalent:  %v\n", cmp.Equivalent)
+
+	// ---- Performance evaluation flow (paper §4) ----
+	// One declarative pipeline: direct decoration (puts arrive at rate
+	// 1, gets are served at rate 2), stochastic lumping, steady-state
+	// solution. Nothing runs until Perf is called.
+	perf, err := eng.Compose(m).
+		DecorateGateRates(map[string]float64{"put": 0.5, "get": 2}, "get").
+		Lump().
+		Perf(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IMC (lumped):         %d states\n", perf.States())
+	ms, err := perf.SteadyState(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("CTMC:                 %d states\n", ms.CTMCStates)
 	fmt.Printf("steady state:         %v\n", round(ms.Pi))
+	fmt.Printf("get throughput:       %.4f /time-unit\n", throughputOfGate(ms, "get"))
+}
+
+// throughputOfGate sums the throughputs of every label of a gate.
+func throughputOfGate(ms *multival.Measures, gate string) float64 {
+	total := 0.0
+	for lab, thr := range ms.Throughputs {
+		if multival.Gate(lab) == gate {
+			total += thr
+		}
+	}
+	return total
 }
 
 func round(xs []float64) []float64 {

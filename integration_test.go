@@ -5,6 +5,7 @@ package multival
 // and Markov solving — the end-to-end paths a user of the library takes.
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -89,7 +90,11 @@ func TestFullPerformancePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := p.Lump().SteadyState(nil)
+	lumped, err := p.Lump(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := lumped.SteadyState(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +102,7 @@ func TestFullPerformancePipeline(t *testing.T) {
 		t.Fatalf("done throughput = %v", ms.Throughputs["done"])
 	}
 	// First passage to the first done = one service time.
-	lat, err := p.MeanTimeTo("done", nil)
+	lat, err := p.MeanTimeTo(context.Background(), "done")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +110,7 @@ func TestFullPerformancePipeline(t *testing.T) {
 		t.Fatalf("first done at %g, want 0.25", lat)
 	}
 	// Transient converges to steady state.
-	late, err := p.Transient(50, nil)
+	late, err := p.Transient(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +227,7 @@ func TestDecorationStylesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms1, err := p1.SteadyState(nil)
+	ms1, err := p1.SteadyState(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +237,7 @@ func TestDecorationStylesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms2, err := p2.SteadyState(nil)
+	ms2, err := p2.SteadyState(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bisim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,18 +22,36 @@ func Minimize(l *lts.LTS, r Relation) (*lts.LTS, []int) {
 // MinimizeOpt is Minimize with explicit engine options (worker count of
 // the parallel refinement).
 func MinimizeOpt(l *lts.LTS, r Relation, opt Options) (*lts.LTS, []int) {
+	q, block, err := MinimizeCtx(context.Background(), l, r, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return q, block
+}
+
+// MinimizeCtx is MinimizeOpt with cancellation: refinement checks ctx at
+// every round boundary and the call returns ctx.Err() (wrapped) when the
+// context is done.
+func MinimizeCtx(ctx context.Context, l *lts.LTS, r Relation, opt Options) (*lts.LTS, []int, error) {
 	if r == Trace {
 		d := l.Determinize()
-		q, _ := MinimizeOpt(d, Strong, opt)
+		q, _, err := MinimizeCtx(ctx, d, Strong, opt)
+		if err != nil {
+			return nil, nil, err
+		}
 		q.SetName(l.Name() + ".min")
 		// The state->block map refers to determinized states, which is
 		// not meaningful for callers in terms of original states.
-		return q, nil
+		return q, nil, nil
 	}
-	block := PartitionOpt(l, r, opt)
+	block, err := PartitionFrozenCtx(ctx, l.Freeze(), r, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	q := quotient(l, block, r)
 	q.SetName(l.Name() + ".min")
-	return q, block
+	return q, block, nil
 }
 
 // quotient builds the quotient LTS from a stable partition.
@@ -101,13 +120,26 @@ func Equivalent(a, b *lts.LTS, r Relation) bool {
 
 // EquivalentOpt is Equivalent with explicit engine options.
 func EquivalentOpt(a, b *lts.LTS, r Relation, opt Options) bool {
+	eq, err := EquivalentCtx(context.Background(), a, b, r, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return eq
+}
+
+// EquivalentCtx is Equivalent with cancellation (see MinimizeCtx).
+func EquivalentCtx(ctx context.Context, a, b *lts.LTS, r Relation, opt Options) (bool, error) {
 	if r == Trace {
 		da, db := a.Determinize(), b.Determinize()
-		return EquivalentOpt(da, db, Strong, opt)
+		return EquivalentCtx(ctx, da, db, Strong, opt)
 	}
 	u, initA, initB := DisjointUnion(a, b)
-	block := PartitionOpt(u, r, opt)
-	return block[initA] == block[initB]
+	block, err := PartitionFrozenCtx(ctx, u.Freeze(), r, opt)
+	if err != nil {
+		return false, err
+	}
+	return block[initA] == block[initB], nil
 }
 
 // DisjointUnion places a and b side by side in a single LTS and returns it
@@ -151,11 +183,25 @@ func Compare(a, b *lts.LTS, r Relation) CompareResult {
 
 // CompareOpt is Compare with explicit engine options.
 func CompareOpt(a, b *lts.LTS, r Relation, opt Options) CompareResult {
-	res := CompareResult{Relation: r, Equivalent: EquivalentOpt(a, b, r, opt)}
+	res, err := CompareCtx(context.Background(), a, b, r, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// CompareCtx is Compare with cancellation (see MinimizeCtx).
+func CompareCtx(ctx context.Context, a, b *lts.LTS, r Relation, opt Options) (CompareResult, error) {
+	eq, err := EquivalentCtx(ctx, a, b, r, opt)
+	if err != nil {
+		return CompareResult{}, err
+	}
+	res := CompareResult{Relation: r, Equivalent: eq}
 	if !res.Equivalent {
 		res.Counterexample = DistinguishingTrace(a, b)
 	}
-	return res
+	return res, nil
 }
 
 // DistinguishingTrace returns a shortest visible trace accepted by exactly

@@ -1,12 +1,16 @@
 package bisim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"multival/internal/engine"
 	"multival/internal/lts"
+	"multival/internal/scc"
 )
 
 // Options tunes the partition-refinement engine.
@@ -14,6 +18,9 @@ type Options struct {
 	// Workers is the number of goroutines hashing state signatures per
 	// refinement round. Zero or negative selects GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, observes each refinement round (stage
+	// "refine": states, round number, current block count).
+	Progress engine.ProgressFunc
 }
 
 func (o Options) workers() int {
@@ -65,8 +72,21 @@ func parallelStates(n, workers int, body func(worker, lo, hi int)) {
 // signatures are computed by a worker pool in parallel shards, then block
 // ids are assigned in a deterministic sequential sweep so the result is
 // identical to the sequential reference (PartitionSeq) regardless of the
-// worker count.
+// worker count. It is PartitionFrozenCtx without cancellation.
 func PartitionFrozen(f *lts.Frozen, r Relation, opt Options) []int {
+	block, err := PartitionFrozenCtx(context.Background(), f, r, opt)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return block
+}
+
+// PartitionFrozenCtx is PartitionFrozen with cancellation: the refinement
+// loop checks ctx at every round boundary and returns ctx.Err() (wrapped)
+// when the context is done, so a deadline or cancel aborts refinement
+// within one round. opt.Progress observes each round.
+func PartitionFrozenCtx(ctx context.Context, f *lts.Frozen, r Relation, opt Options) ([]int, error) {
 	switch r {
 	case Strong, Branching, DivBranching:
 	default:
@@ -75,7 +95,7 @@ func PartitionFrozen(f *lts.Frozen, r Relation, opt Options) []int {
 	n := f.NumStates()
 	block := make([]int, n)
 	if n == 0 {
-		return block
+		return block, nil
 	}
 	numBlocks := 1
 	tau := f.TauID()
@@ -87,6 +107,10 @@ func PartitionFrozen(f *lts.Frozen, r Relation, opt Options) []int {
 	scratch := newSigScratch(workers, n, r != Strong)
 
 	for round := 0; ; round++ {
+		if err := engine.Canceled(ctx); err != nil {
+			return nil, fmt.Errorf("bisim: refinement canceled at round %d (%d blocks): %w", round, numBlocks, err)
+		}
+		opt.Progress.Report(engine.Progress{Stage: "refine", States: n, Round: round, Blocks: numBlocks})
 		switch r {
 		case Strong:
 			parallelStates(n, workers, func(w, lo, hi int) {
@@ -122,7 +146,7 @@ func PartitionFrozen(f *lts.Frozen, r Relation, opt Options) []int {
 			newBlock[s] = id
 		}
 		if next == numBlocks {
-			return newBlock
+			return newBlock, nil
 		}
 		block = newBlock
 		numBlocks = next
@@ -202,7 +226,9 @@ func branchingSignaturesFrozen(f *lts.Frozen, block []int, tau int, div []bool, 
 
 // divergentStatesFrozen marks states with an infinite inert tau path:
 // members of an inert tau cycle plus states reaching one through inert tau
-// transitions (backward sweep over the incoming CSR).
+// transitions (backward sweep over the incoming CSR). Cycle detection runs
+// on the shared iterative Tarjan engine (internal/scc) restricted to inert
+// tau edges.
 func divergentStatesFrozen(f *lts.Frozen, block []int, tau int) []bool {
 	n := f.NumStates()
 	div := make([]bool, n)
@@ -210,98 +236,44 @@ func divergentStatesFrozen(f *lts.Frozen, block []int, tau int) []bool {
 		return div
 	}
 
-	// Iterative Tarjan restricted to inert tau edges.
-	const unvisited = -1
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		stack   []int32
-		counter int32
-	)
-	type frame struct {
-		s    int32
-		edge int
-	}
-	var callStack []frame
-	var worklist []int32 // divergent states pending backward propagation
-
-	inertSucc := func(s int32) []int32 { return f.Succ(lts.State(s), tau) }
-
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		callStack = append(callStack[:0], frame{s: int32(root)})
-		index[root], low[root] = counter, counter
-		counter++
-		stack = append(stack, int32(root))
-		onStack[root] = true
-		for len(callStack) > 0 {
-			fr := &callStack[len(callStack)-1]
-			succ := inertSucc(fr.s)
-			advanced := false
-			for fr.edge < len(succ) {
-				w := succ[fr.edge]
-				fr.edge++
-				if block[w] != block[fr.s] {
-					continue // not inert
+	// Inert tau successors: the label-sorted CSR row filtered to
+	// same-block destinations. The common all-inert case returns the
+	// aliased row without copying.
+	inertSucc := func(s int32) []int32 {
+		all := f.Succ(lts.State(s), tau)
+		myBlock := block[s]
+		for i, d := range all {
+			if block[d] != myBlock {
+				kept := append([]int32(nil), all[:i]...)
+				for _, d := range all[i+1:] {
+					if block[d] == myBlock {
+						kept = append(kept, d)
+					}
 				}
-				if index[w] == unvisited {
-					index[w], low[w] = counter, counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{s: w})
-					advanced = true
+				return kept
+			}
+		}
+		return all
+	}
+
+	comps, _ := scc.Strong(n, inertSucc)
+	var worklist []int32 // divergent states pending backward propagation
+	for _, comp := range comps {
+		// A component is cyclic when it has more than one member or a
+		// member with an inert tau self-loop.
+		cyclic := len(comp) > 1
+		if !cyclic {
+			for _, d := range inertSucc(comp[0]) {
+				if d == comp[0] {
+					cyclic = true
 					break
 				}
-				if onStack[w] && index[w] < low[fr.s] {
-					low[fr.s] = index[w]
-				}
 			}
-			if advanced {
-				continue
-			}
-			s := fr.s
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				p := &callStack[len(callStack)-1]
-				if low[s] < low[p.s] {
-					low[p.s] = low[s]
-				}
-			}
-			if low[s] == index[s] {
-				// Pop the component; it is cyclic when it has more than
-				// one member or a member with an inert tau self-loop.
-				var comp []int32
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, w)
-					if w == s {
-						break
-					}
-				}
-				cyclic := len(comp) > 1
-				if !cyclic {
-					for _, d := range inertSucc(comp[0]) {
-						if d == comp[0] && block[d] == block[comp[0]] {
-							cyclic = true
-							break
-						}
-					}
-				}
-				if cyclic {
-					for _, w := range comp {
-						div[w] = true
-						worklist = append(worklist, w)
-					}
-				}
+		}
+		if cyclic {
+			for _, w := range comp {
+				div[w] = true
+				worklist = append(worklist, w)
 			}
 		}
 	}

@@ -7,11 +7,13 @@
 package compose
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
 
 	"multival/internal/bisim"
+	"multival/internal/engine"
 	"multival/internal/lts"
 )
 
@@ -32,14 +34,9 @@ type Network struct {
 
 // GateOf returns the gate of a transition label: the prefix before the
 // first space ("c !1" -> "c", "done" -> "done").
-func GateOf(label string) string {
-	for i := 0; i < len(label); i++ {
-		if label[i] == ' ' {
-			return label[:i]
-		}
-	}
-	return label
-}
+//
+// Deprecated: use lts.Gate, the shared helper.
+func GateOf(label string) string { return lts.Gate(label) }
 
 // DefaultMaxStates bounds product generation when MaxStates is zero.
 const DefaultMaxStates = 1 << 20
@@ -51,12 +48,30 @@ func (e *ExplosionError) Error() string {
 	return fmt.Sprintf("compose: product exceeds %d states", e.Bound)
 }
 
+// Unwrap classifies the error as the shared state-bound sentinel, so
+// errors.Is(err, engine.ErrStateBound) holds.
+func (e *ExplosionError) Unwrap() error { return engine.ErrStateBound }
+
 // Generate builds the product LTS of the network on the fly: every
 // component is frozen into its CSR form once, and the synchronized product
 // is explored with a reachable-states worklist, so only reachable tuples
 // are ever materialized. Synchronization candidates are located by binary
-// search in the label-sorted CSR rows of the frozen operands.
+// search in the label-sorted CSR rows of the frozen operands. It is
+// GenerateCtx without cancellation or progress reporting.
 func (n *Network) Generate() (*lts.LTS, error) {
+	return n.GenerateCtx(context.Background(), nil)
+}
+
+// genCheckEvery is the number of worklist states between cancellation
+// checks and progress reports during product generation.
+const genCheckEvery = 1024
+
+// GenerateCtx is Generate with cancellation and progress observation: the
+// reachable-states worklist checks ctx every genCheckEvery explored tuples
+// and returns ctx.Err() (wrapped) when the context is done, so a deadline
+// or cancel aborts the product mid-worklist. progress (may be nil)
+// observes the number of product states explored so far (stage "compose").
+func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc) (*lts.LTS, error) {
 	if len(n.Components) == 0 {
 		return nil, fmt.Errorf("compose: empty network")
 	}
@@ -98,7 +113,7 @@ func (n *Network) Generate() (*lts.LTS, error) {
 		gates[i] = map[string]bool{}
 		for id := 0; id < nl; id++ {
 			lab := f.LabelName(id)
-			g := GateOf(lab)
+			g := lts.Gate(lab)
 			emitName[i][id] = lab
 			if lab != lts.Tau {
 				sync[i][id] = syncSet[g]
@@ -202,6 +217,12 @@ func (n *Network) Generate() (*lts.LTS, error) {
 
 	options := make([][]int32, 8)
 	for qi := 0; qi < len(tuples); qi++ {
+		if qi%genCheckEvery == 0 {
+			if err := engine.Canceled(ctx); err != nil {
+				return nil, fmt.Errorf("compose: product canceled at %d states: %w", len(tuples), err)
+			}
+			progress.Report(engine.Progress{Stage: "compose", States: len(tuples)})
+		}
 		src := lts.State(qi)
 		tp := tuples[qi]
 

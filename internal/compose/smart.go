@@ -1,6 +1,7 @@
 package compose
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,6 +49,14 @@ func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 // intermediate minimization runs through the shared CSR-backed refinement
 // engine with the given worker configuration.
 func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
+	return SmartReduceCtx(context.Background(), n, rel, opt)
+}
+
+// SmartReduceCtx is SmartReduce with cancellation: every intermediate
+// product generation and minimization observes ctx (and reports progress
+// through opt.Progress), so a deadline or cancel aborts the compositional
+// strategy between — and inside — its steps.
+func SmartReduceCtx(ctx context.Context, n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	if len(n.Components) == 0 {
 		return nil, nil, fmt.Errorf("compose: empty network")
 	}
@@ -62,7 +71,7 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 		l.EachTransition(func(t lts.Transition) {
 			lab := l.LabelName(t.Label)
 			if lab != lts.Tau {
-				set[GateOf(lab)] = true
+				set[lts.Gate(lab)] = true
 			}
 		})
 		return set
@@ -88,7 +97,10 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 				decl[g] = true
 			}
 		}
-		m, _ := bisim.MinimizeOpt(c, rel, opt)
+		m, _, err := bisim.MinimizeCtx(ctx, c, rel, opt)
+		if err != nil {
+			return nil, report, err
+		}
 		report.observe(c, fmt.Sprintf("component %d", i))
 		report.observe(m, fmt.Sprintf("component %d minimized", i))
 		items = append(items, &item{l: m, decl: decl})
@@ -180,7 +192,7 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 			Components: []*lts.LTS{a.l, b.l},
 			Sync:       pairSync,
 			MaxStates:  n.MaxStates,
-		}).Generate()
+		}).GenerateCtx(ctx, opt.Progress)
 		if err != nil {
 			return nil, report, err
 		}
@@ -203,7 +215,7 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 			mergedDecl[g] = true
 		}
 		prod = prod.Hide(func(lab string) bool {
-			g := GateOf(lab)
+			g := lts.Gate(lab)
 			return hideSet[g] && (!syncSet[g] || !restDecl[g])
 		})
 		for g := range mergedDecl {
@@ -212,7 +224,10 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 			}
 		}
 
-		m, _ := bisim.MinimizeOpt(prod, rel, opt)
+		m, _, err := bisim.MinimizeCtx(ctx, prod, rel, opt)
+		if err != nil {
+			return nil, report, err
+		}
 		report.observe(m, "minimized")
 		items = append(rest, &item{l: m, decl: mergedDecl})
 		pruneDeadGates()
@@ -221,8 +236,11 @@ func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS
 	final := items[0].l
 	// Hide anything still in the hide set (e.g. gates used by a single
 	// component).
-	final = final.Hide(func(lab string) bool { return hideSet[GateOf(lab)] })
-	final, _ = bisim.MinimizeOpt(final, rel, opt)
+	final = final.Hide(func(lab string) bool { return hideSet[lts.Gate(lab)] })
+	final, _, err := bisim.MinimizeCtx(ctx, final, rel, opt)
+	if err != nil {
+		return nil, report, err
+	}
 	report.observe(final, "final")
 	report.FinalStates = final.NumStates()
 	report.FinalTransitions = final.NumTransitions()
@@ -235,7 +253,7 @@ func anyGate(l *lts.LTS, gates map[string]bool) bool {
 	l.EachTransition(func(t lts.Transition) {
 		if !found {
 			lab := l.LabelName(t.Label)
-			if lab != lts.Tau && gates[GateOf(lab)] {
+			if lab != lts.Tau && gates[lts.Gate(lab)] {
 				found = true
 			}
 		}
@@ -249,7 +267,7 @@ func dropGates(l *lts.LTS, gates map[string]bool) *lts.LTS {
 	out.AddStates(l.NumStates())
 	l.EachTransition(func(t lts.Transition) {
 		lab := l.LabelName(t.Label)
-		if lab != lts.Tau && gates[GateOf(lab)] {
+		if lab != lts.Tau && gates[lts.Gate(lab)] {
 			return
 		}
 		out.AddTransition(t.Src, lab, t.Dst)
@@ -269,13 +287,21 @@ func Monolithic(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 
 // MonolithicOpt is Monolithic with explicit engine options.
 func MonolithicOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
+	return MonolithicCtx(context.Background(), n, rel, opt)
+}
+
+// MonolithicCtx is Monolithic with cancellation (see SmartReduceCtx).
+func MonolithicCtx(ctx context.Context, n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	report := &Report{}
-	prod, err := n.Generate()
+	prod, err := n.GenerateCtx(ctx, opt.Progress)
 	if err != nil {
 		return nil, report, err
 	}
 	report.observe(prod, "monolithic product")
-	m, _ := bisim.MinimizeOpt(prod, rel, opt)
+	m, _, err := bisim.MinimizeCtx(ctx, prod, rel, opt)
+	if err != nil {
+		return nil, report, err
+	}
 	report.observe(m, "minimized")
 	report.FinalStates = m.NumStates()
 	report.FinalTransitions = m.NumTransitions()

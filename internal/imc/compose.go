@@ -71,7 +71,7 @@ func Compose(a, b *IMC, syncGates []string, maxStates int) (*IMC, error) {
 				return
 			}
 			lab := a.Inter.LabelName(t.Label)
-			g := gateOf(lab)
+			g := lts.Gate(lab)
 			if lab != lts.Tau && sync[g] {
 				if !gatesB[g] {
 					// b never uses the gate: a moves alone.
@@ -119,7 +119,7 @@ func Compose(a, b *IMC, syncGates []string, maxStates int) (*IMC, error) {
 				return
 			}
 			lab := b.Inter.LabelName(t.Label)
-			g := gateOf(lab)
+			g := lts.Gate(lab)
 			if lab != lts.Tau && sync[g] {
 				if !gatesA[g] {
 					dst, err := intern(pair{p.x, t.Dst})
@@ -198,7 +198,7 @@ func gateSet(l *lts.LTS) map[string]bool {
 	l.EachTransition(func(t lts.Transition) {
 		lab := l.LabelName(t.Label)
 		if lab != lts.Tau {
-			set[gateOf(lab)] = true
+			set[lts.Gate(lab)] = true
 		}
 	})
 	return set

@@ -1,9 +1,11 @@
 package imc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"multival/internal/engine"
 	"multival/internal/lts"
 	"multival/internal/markov"
 )
@@ -23,6 +25,10 @@ func (e *NondeterminismError) Error() string {
 	return fmt.Sprintf("imc: state %d offers %d instantaneous alternatives; provide a scheduler (nondeterminism is not accepted by the Markov solvers)", e.State, e.Alternatives)
 }
 
+// Unwrap classifies the error as the shared nondeterminism sentinel, so
+// errors.Is(err, engine.ErrNondeterministic) holds.
+func (e *NondeterminismError) Unwrap() error { return engine.ErrNondeterministic }
+
 // ZenoError reports a cycle of instantaneous transitions (a livelock of
 // internal steps), which has no CTMC semantics.
 type ZenoError struct{ State lts.State }
@@ -30,6 +36,10 @@ type ZenoError struct{ State lts.State }
 func (e *ZenoError) Error() string {
 	return fmt.Sprintf("imc: instantaneous cycle through state %d (tau livelock has no timed semantics)", e.State)
 }
+
+// Unwrap classifies the error as the shared Zeno sentinel, so
+// errors.Is(err, engine.ErrZeno) holds.
+func (e *ZenoError) Unwrap() error { return engine.ErrZeno }
 
 // Scheduler resolves internal nondeterminism: given a vanishing state and
 // its number of instantaneous alternatives, it returns a probability
@@ -93,8 +103,19 @@ type CTMCResult struct {
 // observation probes that fire as soon as offered (models should hide or
 // delay anything they do not want to treat this way). sched may be nil,
 // in which case any nondeterministic vanishing state yields
-// *NondeterminismError.
+// *NondeterminismError. It is ToCTMCCtx without cancellation.
 func (m *IMC) ToCTMC(sched Scheduler) (*CTMCResult, error) {
+	return m.ToCTMCCtx(context.Background(), sched, nil)
+}
+
+// extractCheckEvery is the number of tangible states between cancellation
+// checks and progress reports during CTMC extraction.
+const extractCheckEvery = 1024
+
+// ToCTMCCtx is ToCTMC with cancellation and progress observation: the
+// tangible-state elimination loop checks ctx every extractCheckEvery
+// states (stage "extract").
+func (m *IMC) ToCTMCCtx(ctx context.Context, sched Scheduler, progress engine.ProgressFunc) (*CTMCResult, error) {
 	n := m.NumStates()
 	if n == 0 {
 		return nil, fmt.Errorf("imc: empty IMC")
@@ -193,6 +214,12 @@ func (m *IMC) ToCTMC(sched Scheduler) (*CTMCResult, error) {
 	}
 
 	for ci, s := range stateOf {
+		if ci%extractCheckEvery == 0 {
+			if err := engine.Canceled(ctx); err != nil {
+				return nil, fmt.Errorf("imc: extraction canceled at state %d of %d: %w", ci, len(stateOf), err)
+			}
+			progress.Report(engine.Progress{Stage: "extract", States: len(stateOf), Round: ci})
+		}
 		// Aggregate resolved Markovian moves.
 		agg := map[int]float64{}
 		var rerr error
@@ -268,6 +295,12 @@ func (r *CTMCResult) SteadyState() ([]float64, error) {
 // starting from the initial distribution (vanishing initial states
 // resolve instantaneously at time zero).
 func (r *CTMCResult) Transient(t float64) ([]float64, error) {
+	return r.TransientOpt(t, markov.SolveOptions{})
+}
+
+// TransientOpt is Transient with explicit solver options (tolerances,
+// cancellation, progress).
+func (r *CTMCResult) TransientOpt(t float64, opts markov.SolveOptions) ([]float64, error) {
 	// markov.Transient starts from a single state; combine linearly
 	// over the initial distribution (the transient operator is linear
 	// in the initial vector).
@@ -280,7 +313,7 @@ func (r *CTMCResult) Transient(t float64) ([]float64, error) {
 			continue
 		}
 		r.Chain.SetInitial(s)
-		pi, err := r.Chain.Transient(t, markov.SolveOptions{})
+		pi, err := r.Chain.Transient(t, opts)
 		if err != nil {
 			return nil, err
 		}

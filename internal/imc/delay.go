@@ -71,11 +71,11 @@ func Decorate(l *lts.LTS, delays []Delay, maxStates int) (*IMC, error) {
 		if err != nil {
 			return nil, fmt.Errorf("imc: delay %s..%s: %w", d.Start, d.End, err)
 		}
-		m, err = Compose(m, dp, []string{gateOf(d.Start), gateOf(d.End)}, maxStates)
+		m, err = Compose(m, dp, []string{lts.Gate(d.Start), lts.Gate(d.End)}, maxStates)
 		if err != nil {
 			return nil, err
 		}
-		hide = append(hide, gateOf(d.Start), gateOf(d.End))
+		hide = append(hide, lts.Gate(d.Start), lts.Gate(d.End))
 	}
 	return m.Hide(hide...).Trim(), nil
 }

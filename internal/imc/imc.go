@@ -147,7 +147,7 @@ func (m *IMC) Hide(gates ...string) *IMC {
 		set[g] = true
 	}
 	inter := m.Inter.Hide(func(label string) bool {
-		return set[gateOf(label)]
+		return set[lts.Gate(label)]
 	})
 	return &IMC{Inter: inter, Markov: append([]MTransition(nil), m.Markov...)}
 }
@@ -316,11 +316,3 @@ func (m *IMC) ReplaceLabelByRateWithMarker(label string, rate float64, marker st
 	return out, nil
 }
 
-func gateOf(label string) string {
-	for i := 0; i < len(label); i++ {
-		if label[i] == ' ' {
-			return label[:i]
-		}
-	}
-	return label
-}

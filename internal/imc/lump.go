@@ -1,10 +1,13 @@
 package imc
 
 import (
+	"context"
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sort"
 
+	"multival/internal/engine"
 	"multival/internal/lts"
 )
 
@@ -17,15 +20,32 @@ import (
 // state spaces small.
 //
 // Callers typically apply MaximalProgress first; Lump itself does not
-// change the maximal-progress semantics.
+// change the maximal-progress semantics. It is LumpCtx without
+// cancellation.
 func (m *IMC) Lump() (*IMC, []int) {
+	q, block, err := m.LumpCtx(context.Background(), nil)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return q, block
+}
+
+// LumpCtx is Lump with cancellation and progress observation: the
+// refinement loop checks ctx at every round boundary (stage "lump") and
+// returns ctx.Err() (wrapped) when the context is done.
+func (m *IMC) LumpCtx(ctx context.Context, progress engine.ProgressFunc) (*IMC, []int, error) {
 	n := m.NumStates()
 	block := make([]int, n)
 	if n == 0 {
-		return New(m.Name()), block
+		return New(m.Name()), block, nil
 	}
 	numBlocks := 1
-	for {
+	for round := 0; ; round++ {
+		if err := engine.Canceled(ctx); err != nil {
+			return nil, nil, fmt.Errorf("imc: lumping canceled at round %d (%d blocks): %w", round, numBlocks, err)
+		}
+		progress.Report(engine.Progress{Stage: "lump", States: n, Round: round, Blocks: numBlocks})
 		sigs := m.signatures(block)
 		index := make(map[string]int, numBlocks*2)
 		newBlock := make([]int, n)
@@ -94,7 +114,7 @@ func (m *IMC) Lump() (*IMC, []int) {
 		}
 	}
 	trimmed := q.Trim()
-	return trimmed, block
+	return trimmed, block, nil
 }
 
 // signatures computes, per state, a canonical encoding of (interactive

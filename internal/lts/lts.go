@@ -22,6 +22,19 @@ type State int
 // Aldebaran (.aut) format used by CADP.
 const Tau = "i"
 
+// Gate returns the gate of a transition label following LOTOS conventions:
+// the prefix before the first space ("c !1" -> "c", "done" -> "done").
+// This is the one label-splitting helper used everywhere the flow groups
+// labels per gate (hiding, synchronization sets, rate decoration).
+func Gate(label string) string {
+	for i := 0; i < len(label); i++ {
+		if label[i] == ' ' {
+			return label[:i]
+		}
+	}
+	return label
+}
+
 // Transition is a single labeled edge of an LTS.
 type Transition struct {
 	Src   State

@@ -3,6 +3,8 @@ package lts
 import (
 	"fmt"
 	"sort"
+
+	"multival/internal/scc"
 )
 
 // Reachable returns the set of states reachable from the initial state, as
@@ -230,96 +232,39 @@ func (l *LTS) Determinize() *LTS {
 // StronglyConnectedComponents returns Tarjan SCCs restricted to transitions
 // accepted by pred (pass nil to use all transitions). Components are
 // returned in reverse topological order; each component lists its states in
-// ascending order.
+// ascending order. The traversal runs on the shared iterative SCC engine
+// (internal/scc) over a flat successor array built in one pass, so no
+// per-state slices are allocated during the walk.
 func (l *LTS) StronglyConnectedComponents(pred func(Transition) bool) [][]State {
-	const unvisited = -1
 	n := l.numStates
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var (
-		stack   []State
-		counter int
-		comps   [][]State
-	)
-
-	// Iterative Tarjan to survive deep graphs.
-	type frame struct {
-		s    State
-		edge int
-		out  []Transition
-	}
-	var callStack []frame
-
-	visit := func(root State) {
-		callStack = callStack[:0]
-		callStack = append(callStack, frame{s: root, out: l.Outgoing(root)})
-		index[root] = counter
-		low[root] = counter
-		counter++
-		stack = append(stack, root)
-		onStack[root] = true
-
-		for len(callStack) > 0 {
-			f := &callStack[len(callStack)-1]
-			advanced := false
-			for f.edge < len(f.out) {
-				t := f.out[f.edge]
-				f.edge++
-				if pred != nil && !pred(t) {
-					continue
-				}
-				w := t.Dst
-				if index[w] == unvisited {
-					index[w] = counter
-					low[w] = counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{s: w, out: l.Outgoing(w)})
-					advanced = true
-					break
-				}
-				if onStack[w] && index[w] < low[f.s] {
-					low[f.s] = index[w]
-				}
-			}
-			if advanced {
-				continue
-			}
-			// f.s is finished.
-			s := f.s
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				parent := &callStack[len(callStack)-1]
-				if low[s] < low[parent.s] {
-					low[parent.s] = low[s]
-				}
-			}
-			if low[s] == index[s] {
-				var comp []State
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, w)
-					if w == s {
-						break
-					}
-				}
-				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
-				comps = append(comps, comp)
-			}
+	// Filtered CSR adjacency: one counting pass, one fill pass.
+	off := make([]int32, n+1)
+	for _, t := range l.trans {
+		if pred == nil || pred(t) {
+			off[t.Src+1]++
 		}
 	}
-
 	for s := 0; s < n; s++ {
-		if index[s] == unvisited {
-			visit(State(s))
+		off[s+1] += off[s]
+	}
+	dst := make([]int32, off[n])
+	pos := append([]int32(nil), off[:n]...)
+	for _, t := range l.trans {
+		if pred == nil || pred(t) {
+			dst[pos[t.Src]] = int32(t.Dst)
+			pos[t.Src]++
 		}
+	}
+	comps32, _ := scc.Strong(n, func(s int32) []int32 {
+		return dst[off[s]:off[s+1]]
+	})
+	comps := make([][]State, len(comps32))
+	for i, c := range comps32 {
+		comp := make([]State, len(c))
+		for j, s := range c {
+			comp[j] = State(s)
+		}
+		comps[i] = comp
 	}
 	return comps
 }

@@ -1,8 +1,11 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"multival/internal/engine"
 )
 
 // SolveOptions tunes the iterative solvers.
@@ -12,6 +15,16 @@ type SolveOptions struct {
 	Tolerance float64
 	// MaxIterations bounds the iteration count (default 1_000_000).
 	MaxIterations int
+	// Ctx, when non-nil, cancels the solver: every Gauss–Seidel sweep
+	// and uniformization step checks it, and the solve returns
+	// Ctx.Err() (wrapped) once the context is done. Carried in the
+	// options struct so it threads through the nested solver helpers
+	// without widening every signature.
+	Ctx context.Context
+	// Progress, when non-nil, observes solver sweeps (stage "steady",
+	// "absorb", "fpt" or "transient"; Round is the sweep number,
+	// Residual the current max-norm delta).
+	Progress engine.ProgressFunc
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -24,6 +37,18 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	return o
 }
 
+// canceled returns the wrapped context error once the solve's context is
+// done, nil otherwise.
+func (o SolveOptions) canceled(stage string, sweep int) error {
+	if err := engine.Canceled(o.Ctx); err != nil {
+		return fmt.Errorf("markov: %s solve canceled at sweep %d: %w", stage, sweep, err)
+	}
+	return nil
+}
+
+// progressEvery is the number of solver sweeps between progress reports.
+const progressEvery = 128
+
 // ConvergenceError reports that an iterative solver did not converge.
 type ConvergenceError struct {
 	Iterations int
@@ -33,6 +58,26 @@ type ConvergenceError struct {
 func (e *ConvergenceError) Error() string {
 	return fmt.Sprintf("markov: no convergence after %d iterations (residual %g)", e.Iterations, e.Residual)
 }
+
+// Unwrap classifies the error as the shared no-convergence sentinel, so
+// errors.Is(err, engine.ErrNoConvergence) holds.
+func (e *ConvergenceError) Unwrap() error { return engine.ErrNoConvergence }
+
+// IrreducibilityError reports that an analysis needed reachability the
+// chain does not have (a state that cannot reach any target, or an
+// absorbing state outside the target set).
+type IrreducibilityError struct {
+	State  int
+	Reason string
+}
+
+func (e *IrreducibilityError) Error() string {
+	return fmt.Sprintf("markov: state %d %s", e.State, e.Reason)
+}
+
+// Unwrap classifies the error as the shared irreducibility sentinel, so
+// errors.Is(err, engine.ErrNotIrreducible) holds.
+func (e *IrreducibilityError) Unwrap() error { return engine.ErrNotIrreducible }
 
 // SteadyState computes the limiting distribution of the chain started in
 // the initial state. Transient states receive probability zero; when the
@@ -120,6 +165,9 @@ func (c *CTMC) stationaryWithin(members []int, opts SolveOptions) ([]float64, er
 		pi[i] = 1 / float64(m)
 	}
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := opts.canceled("steady", iter); err != nil {
+			return nil, err
+		}
 		maxDelta := 0.0
 		for j := 0; j < m; j++ {
 			if exit[j] == 0 {
@@ -145,6 +193,9 @@ func (c *CTMC) stationaryWithin(members []int, opts SolveOptions) ([]float64, er
 		}
 		for j := range pi {
 			pi[j] /= total
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: "steady", States: m, Round: iter, Residual: maxDelta})
 		}
 		if maxDelta < opts.Tolerance {
 			return pi, nil
@@ -183,6 +234,9 @@ func (c *CTMC) absorptionProbabilities(bsccs [][]int, opts SolveOptions) ([]floa
 			}
 		}
 		for iter := 0; iter < opts.MaxIterations; iter++ {
+			if err := opts.canceled("absorb", iter); err != nil {
+				return nil, err
+			}
 			maxDelta := 0.0
 			for s := 0; s < n; s++ {
 				if inBSCC[s] >= 0 {
@@ -280,15 +334,18 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 	}
 	for s := 0; s < n; s++ {
 		if !canReach[s] {
-			return nil, fmt.Errorf("markov: state %d cannot reach any target (infinite expected time)", s)
+			return nil, &IrreducibilityError{s, "cannot reach any target (infinite expected time)"}
 		}
 		if !isTarget[s] && c.exitRate[s] == 0 {
-			return nil, fmt.Errorf("markov: state %d is absorbing but not a target", s)
+			return nil, &IrreducibilityError{s, "is absorbing but not a target"}
 		}
 	}
 
 	h := make([]float64, n)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := opts.canceled("fpt", iter); err != nil {
+			return nil, err
+		}
 		maxDelta := 0.0
 		for s := 0; s < n; s++ {
 			if isTarget[s] {
@@ -303,6 +360,9 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 				maxDelta = d
 			}
 			h[s] = next
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: "fpt", States: n, Round: iter, Residual: maxDelta})
 		}
 		if maxDelta < opts.Tolerance {
 			return h, nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"multival/internal/engine"
 )
 
 // Transient computes the state distribution at time t, starting from the
@@ -43,6 +45,12 @@ func (c *CTMC) Transient(t float64, opts SolveOptions) ([]float64, error) {
 	next := make([]float64, n)
 	maxK := k0 + len(weights) - 1
 	for k := 0; k <= maxK; k++ {
+		if k%progressEvery == 0 {
+			if err := opts.canceled("transient", k); err != nil {
+				return nil, err
+			}
+			opts.Progress.Report(engine.Progress{Stage: "transient", States: n, Round: k})
+		}
 		if k >= k0 {
 			w := weights[k-k0]
 			for i := range result {

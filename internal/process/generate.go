@@ -1,8 +1,10 @@
 package process
 
 import (
+	"context"
 	"fmt"
 
+	"multival/internal/engine"
 	"multival/internal/lts"
 )
 
@@ -44,6 +46,9 @@ type GenOptions struct {
 	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
 	// Exceeding the bound is an error (state-space explosion guard).
 	MaxStates int
+	// Progress, when non-nil, observes exploration milestones (stage
+	// "generate", states explored so far).
+	Progress engine.ProgressFunc
 }
 
 // DefaultMaxStates is the generation bound used when GenOptions.MaxStates
@@ -59,11 +64,27 @@ func (e *ExplosionError) Error() string {
 	return fmt.Sprintf("process: state space exceeds %d states", e.Bound)
 }
 
+// Unwrap classifies the error as the shared state-bound sentinel, so
+// errors.Is(err, engine.ErrStateBound) holds.
+func (e *ExplosionError) Unwrap() error { return engine.ErrStateBound }
+
 // Generate explores the state space of the system's root behaviour and
 // returns it as an LTS. States are identified by the canonical printing of
 // their (closed) behaviour term; exploration is breadth-first, so state
-// numbering is deterministic.
+// numbering is deterministic. It is GenerateCtx without cancellation.
 func (s *System) Generate(opts GenOptions) (*lts.LTS, error) {
+	return s.GenerateCtx(context.Background(), opts)
+}
+
+// genCheckEvery is the number of worklist states between cancellation
+// checks and progress reports during generation.
+const genCheckEvery = 1024
+
+// GenerateCtx is Generate with cancellation: the exploration worklist
+// checks ctx every genCheckEvery states and returns ctx.Err() (wrapped)
+// when the context is done, so a deadline or cancel aborts generation
+// mid-worklist rather than after the fact.
+func (s *System) GenerateCtx(ctx context.Context, opts GenOptions) (*lts.LTS, error) {
 	if s.Root == nil {
 		return nil, fmt.Errorf("process: system %q has no root behaviour", s.Name)
 	}
@@ -96,6 +117,12 @@ func (s *System) Generate(opts GenOptions) (*lts.LTS, error) {
 	l.SetInitial(0)
 
 	for qi := 0; qi < len(terms); qi++ {
+		if qi%genCheckEvery == 0 {
+			if err := engine.Canceled(ctx); err != nil {
+				return nil, fmt.Errorf("process: generation canceled at %d states: %w", len(terms), err)
+			}
+			opts.Progress.Report(engine.Progress{Stage: "generate", States: len(terms)})
+		}
 		src := lts.State(qi)
 		ss, err := steps(terms[qi], s.Defs, 0)
 		if err != nil {

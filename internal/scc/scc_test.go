@@ -1,0 +1,109 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive computes SCCs by pairwise mutual reachability — O(n^2) reference.
+func naive(n int, adj [][]int32) []int {
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		stack := []int32{int32(s)}
+		reach[s][s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !reach[s][v] {
+					reach[s][v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		for t := s + 1; t < n; t++ {
+			if comp[t] < 0 && reach[s][t] && reach[t][s] {
+				comp[t] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+func TestStrongDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		adj := make([][]int32, n)
+		for e := 0; e < n*2; e++ {
+			s := rng.Intn(n)
+			adj[s] = append(adj[s], int32(rng.Intn(n)))
+		}
+		comps, compOf := Strong(n, func(s int32) []int32 { return adj[s] })
+		ref := naive(n, adj)
+
+		// Same equivalence classes.
+		seen := map[[2]int]bool{}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				same := compOf[a] == compOf[b]
+				if same != (ref[a] == ref[b]) {
+					t.Fatalf("trial %d: states %d,%d grouping mismatch", trial, a, b)
+				}
+				_ = seen
+			}
+		}
+		// compOf consistent with comps, members ascending.
+		total := 0
+		for id, comp := range comps {
+			total += len(comp)
+			for i, s := range comp {
+				if compOf[s] != int32(id) {
+					t.Fatalf("trial %d: compOf[%d]=%d, want %d", trial, s, compOf[s], id)
+				}
+				if i > 0 && comp[i-1] >= s {
+					t.Fatalf("trial %d: component %d not ascending", trial, id)
+				}
+			}
+		}
+		if total != n {
+			t.Fatalf("trial %d: components cover %d of %d states", trial, total, n)
+		}
+		// Reverse topological order: every edge points to an equal or
+		// earlier component.
+		for s := 0; s < n; s++ {
+			for _, d := range adj[s] {
+				if compOf[d] > compOf[s] {
+					t.Fatalf("trial %d: edge %d->%d violates reverse topological order", trial, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestStrongDeepChain(t *testing.T) {
+	// A 200k-state chain must not overflow any stack.
+	const n = 200_000
+	comps, _ := Strong(n, func(s int32) []int32 {
+		if int(s)+1 < n {
+			return []int32{s + 1}
+		}
+		return nil
+	})
+	if len(comps) != n {
+		t.Fatalf("chain: %d components, want %d", len(comps), n)
+	}
+}

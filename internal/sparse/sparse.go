@@ -8,7 +8,11 @@
 // next to the storage they scan.
 package sparse
 
-import "sort"
+import (
+	"sort"
+
+	"multival/internal/scc"
+)
 
 // Matrix is an immutable CSR matrix of positive rates over a square state
 // space. Duplicate entries are preserved (not combined), so a matrix is a
@@ -191,86 +195,12 @@ func (m *Matrix) AddApplyT(x, y []float64, scale float64) {
 // BottomSCCs returns the bottom strongly connected components of the
 // matrix viewed as a directed graph (an edge per stored entry): the SCCs
 // with no entry leaving the component. Each component lists its states in
-// ascending order. Uses an iterative Tarjan to survive deep graphs.
+// ascending order. The SCCs come from the shared iterative Tarjan engine
+// (internal/scc) iterating directly over CSR rows.
 func (m *Matrix) BottomSCCs() [][]int {
-	const unvisited = -1
-	n := m.n
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	comp := make([]int32, n)
-	for i := range index {
-		index[i] = unvisited
-		comp[i] = -1
-	}
-	var (
-		stack   []int32
-		counter int32
-		comps   [][]int
-	)
-	type frame struct {
-		s    int32
-		edge int32
-	}
-	var callStack []frame
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		callStack = append(callStack[:0], frame{s: int32(root)})
-		index[root], low[root] = counter, counter
-		counter++
-		stack = append(stack, int32(root))
-		onStack[root] = true
-		for len(callStack) > 0 {
-			f := &callStack[len(callStack)-1]
-			lo, hi := m.rowOff[f.s], m.rowOff[f.s+1]
-			advanced := false
-			for lo+f.edge < hi {
-				w := m.col[lo+f.edge]
-				f.edge++
-				if index[w] == unvisited {
-					index[w], low[w] = counter, counter
-					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					callStack = append(callStack, frame{s: w})
-					advanced = true
-					break
-				}
-				if onStack[w] && index[w] < low[f.s] {
-					low[f.s] = index[w]
-				}
-			}
-			if advanced {
-				continue
-			}
-			s := f.s
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				p := &callStack[len(callStack)-1]
-				if low[s] < low[p.s] {
-					low[p.s] = low[s]
-				}
-			}
-			if low[s] == index[s] {
-				id := int32(len(comps))
-				var members []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = id
-					members = append(members, int(w))
-					if w == s {
-						break
-					}
-				}
-				sort.Ints(members)
-				comps = append(comps, members)
-			}
-		}
-	}
+	comps, compOf := scc.Strong(m.n, func(s int32) []int32 {
+		return m.col[m.rowOff[s]:m.rowOff[s+1]]
+	})
 	var bottom [][]int
 	for id, members := range comps {
 		isBottom := true
@@ -278,14 +208,18 @@ func (m *Matrix) BottomSCCs() [][]int {
 		for _, s := range members {
 			lo, hi := m.rowOff[s], m.rowOff[s+1]
 			for p := lo; p < hi; p++ {
-				if comp[m.col[p]] != int32(id) {
+				if compOf[m.col[p]] != int32(id) {
 					isBottom = false
 					break scan
 				}
 			}
 		}
 		if isBottom {
-			bottom = append(bottom, members)
+			out := make([]int, len(members))
+			for i, s := range members {
+				out[i] = int(s)
+			}
+			bottom = append(bottom, out)
 		}
 	}
 	return bottom

@@ -1,0 +1,191 @@
+package multival
+
+import (
+	"context"
+
+	"multival/internal/bisim"
+	"multival/internal/imc"
+	"multival/internal/lotos"
+	"multival/internal/lts"
+	"multival/internal/mcl"
+)
+
+// CompareResult re-exports the outcome of an equivalence comparison:
+// the relation, the verdict, and a distinguishing trace when one exists.
+type CompareResult = bisim.CompareResult
+
+// Engine is the entry point of the redesigned API: it owns the Options
+// (worker counts, state bounds, scheduler, solver tolerances, progress
+// observer) and threads them — together with the caller's
+// context.Context — through every operation. Construct one with
+// NewEngine; an Engine is immutable and safe for concurrent use.
+//
+// Models and pipelines created through an Engine inherit its options, so
+// a service configures workers and bounds once instead of plumbing them
+// through every call site.
+type Engine struct {
+	opts Options
+}
+
+// NewEngine builds an Engine from functional options:
+//
+//	eng := multival.NewEngine(
+//	    multival.WithWorkers(8),
+//	    multival.WithMaxStates(1<<22),
+//	    multival.WithProgress(logProgress),
+//	)
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(&e.opts)
+	}
+	return e
+}
+
+// defaultEngine backs the deprecated package-level entry points and
+// models created without an engine.
+var defaultEngine = NewEngine()
+
+// Options returns a copy of the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// or returns e, or the default engine when e is nil (models built by the
+// deprecated package-level constructors).
+func (e *Engine) or() *Engine {
+	if e == nil {
+		return defaultEngine
+	}
+	return e
+}
+
+// Model is a functional model: an LTS plus the operations of the
+// verification flow. Models remember the Engine that created them, so the
+// convenience methods (Minimize, EquivalentTo, Decorate, ...) run with
+// that engine's options.
+type Model struct {
+	L *lts.LTS
+
+	eng *Engine
+}
+
+// FromLOTOS parses a specification in the LOTOS-like DSL (see
+// internal/lotos) and generates its state space, bounded by the engine's
+// MaxStates (exceeding it wraps ErrStateBound) and abortable through ctx
+// (generation checks cancellation mid-worklist).
+func (e *Engine) FromLOTOS(ctx context.Context, src string) (*Model, error) {
+	sys, err := lotos.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	l, err := sys.GenerateCtx(ctx, e.or().opts.gen())
+	if err != nil {
+		return nil, err
+	}
+	return &Model{L: l, eng: e.or()}, nil
+}
+
+// FromLTS wraps an existing LTS.
+func (e *Engine) FromLTS(l *lts.LTS) *Model { return &Model{L: l, eng: e.or()} }
+
+// engine returns the model's engine, falling back to the default.
+func (m *Model) engine() *Engine { return m.eng.or() }
+
+// States returns the number of states.
+func (m *Model) States() int { return m.L.NumStates() }
+
+// Transitions returns the number of transitions.
+func (m *Model) Transitions() int { return m.L.NumTransitions() }
+
+// Minimize returns the quotient of the model modulo rel, computed by the
+// engine with ctx observed at every refinement round boundary.
+func (e *Engine) Minimize(ctx context.Context, m *Model, rel Relation) (*Model, error) {
+	q, _, err := bisim.MinimizeCtx(ctx, m.L, rel, e.or().opts.bisim())
+	if err != nil {
+		return nil, err
+	}
+	return &Model{L: q, eng: e.or()}, nil
+}
+
+// Minimize returns the quotient modulo the relation, computed by the
+// CSR-backed parallel refinement engine with the model's engine options.
+// Use Engine.Minimize to pass a context.
+func (m *Model) Minimize(rel Relation) (*Model, error) {
+	return m.engine().Minimize(context.Background(), m, rel)
+}
+
+// MinimizeWith is Minimize with an explicit refinement worker count
+// (0 = GOMAXPROCS).
+//
+// Deprecated: configure workers on the engine instead:
+// NewEngine(WithWorkers(n)).Minimize(ctx, m, rel).
+func (m *Model) MinimizeWith(rel Relation, workers int) (*Model, error) {
+	eng := NewEngine(func(o *Options) { *o = m.engine().opts; o.Workers = workers })
+	return eng.Minimize(context.Background(), m, rel)
+}
+
+// Hide replaces the labels of the given gates by the internal action.
+func (m *Model) Hide(gates ...string) *Model {
+	set := map[string]bool{}
+	for _, g := range gates {
+		set[g] = true
+	}
+	return &Model{L: m.L.Hide(func(label string) bool {
+		return set[lts.Gate(label)]
+	}), eng: m.eng}
+}
+
+// Check parses a mu-calculus formula (internal/mcl syntax) and evaluates
+// it on the model's initial state.
+func (m *Model) Check(formula string) (mcl.Result, error) {
+	f, err := mcl.Parse(formula)
+	if err != nil {
+		return mcl.Result{}, err
+	}
+	return mcl.Verify(m.L, f)
+}
+
+// CheckDeadlockFree verifies absence of reachable deadlocks.
+func (m *Model) CheckDeadlockFree() (mcl.Result, error) {
+	return mcl.Verify(m.L, mcl.DeadlockFree())
+}
+
+// Compare checks two models for equivalence modulo rel, observing ctx at
+// every refinement round, with a distinguishing trace when trace sets
+// differ.
+func (e *Engine) Compare(ctx context.Context, a, b *Model, rel Relation) (CompareResult, error) {
+	return bisim.CompareCtx(ctx, a.L, b.L, rel, e.or().opts.bisim())
+}
+
+// EquivalentTo compares two models modulo the relation, with a
+// distinguishing trace when trace sets differ. Use Engine.Compare to pass
+// a context.
+func (m *Model) EquivalentTo(other *Model, rel Relation) CompareResult {
+	res, err := m.engine().Compare(context.Background(), m, other, rel)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// Decorate attaches phase-type delays compositionally (synchronizing
+// delay processes on the start/end gates, then hiding them). The
+// resulting PerfModel shares the model's engine and caches its derived
+// CTMC artifacts; see PerfModel.
+func (m *Model) Decorate(delays ...Delay) (*PerfModel, error) {
+	im, err := imc.Decorate(m.L, delays, m.engine().opts.MaxStates)
+	if err != nil {
+		return nil, err
+	}
+	return newPerfModel(im, m.engine()), nil
+}
+
+// DecorateRates replaces each listed label by an exponential delay of the
+// given rate (the paper's "direct" decoration).
+func (m *Model) DecorateRates(rates map[string]float64) (*PerfModel, error) {
+	im, err := imc.DecorateRates(m.L, rates)
+	if err != nil {
+		return nil, err
+	}
+	return newPerfModel(im, m.engine()), nil
+}

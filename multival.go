@@ -6,28 +6,49 @@
 // model checking and equivalence checking, and performance evaluation via
 // Interactive Markov Chains.
 //
-// The package is a facade over the building blocks in internal/…:
+// # Engine-first API
 //
+// The package is organized around three types:
+//
+//   - Engine owns the options (workers, state bounds, scheduler, solver
+//     tolerances, progress observer) and threads them — together with the
+//     caller's context.Context — through every operation. Long-running
+//     operations check cancellation at round boundaries (worklist chunks,
+//     refinement rounds, solver sweeps) and report Progress snapshots.
 //   - Model wraps an LTS obtained from the LOTOS-like DSL, from the CHP
-//     front-end, or from one of the case-study generators (xSTream, FAUST,
-//     FAME2), and offers minimization, model checking and comparison —
-//     the paper's functional verification flow (§3).
+//     front-end, or from one of the case-study generators, and offers
+//     minimization, model checking and comparison — the paper's
+//     functional verification flow (§3).
 //   - PerfModel wraps an IMC obtained by decorating a Model with
 //     phase-type delays and offers lumping, CTMC extraction, steady-state
-//     and transient measures — the performance evaluation flow (§4).
+//     and transient measures — the performance evaluation flow (§4). A
+//     PerfModel caches the maximal-progress IMC and the extracted CTMC,
+//     so SteadyState, Transient and MeanTimeTo share one extraction.
+//
+// Pipeline strings the steps together declaratively and executes them
+// lazily (minimizing composition operands concurrently):
+//
+//	eng := multival.NewEngine(multival.WithWorkers(8))
+//	ms, err := eng.Compose(a, b).
+//	    Sync("mid").Hide("mid").
+//	    Minimize(multival.Branching).
+//	    DecorateGateRates(map[string]float64{"put": 1, "get": 2}, "get").
+//	    Lump().
+//	    Solve(ctx)
+//
+// Every facade method returns its error; failures wrap the typed
+// sentinels in errors.go (ErrStateBound, ErrNondeterministic,
+// ErrNotIrreducible, ErrNoConvergence, ErrZeno), so callers classify them
+// with errors.Is.
 package multival
 
 import (
-	"fmt"
+	"context"
 
 	"multival/internal/bisim"
 	"multival/internal/imc"
-	"multival/internal/lotos"
 	"multival/internal/lts"
-	"multival/internal/markov"
-	"multival/internal/mcl"
 	"multival/internal/phasetype"
-	"multival/internal/process"
 )
 
 // Relation re-exports the behavioural equivalences.
@@ -41,80 +62,33 @@ const (
 	Trace        = bisim.Trace
 )
 
-// Model is a functional model: an LTS plus the operations of the
-// verification flow.
-type Model struct {
-	L *lts.LTS
-}
-
 // FromLOTOS parses a specification in the LOTOS-like DSL (see
-// internal/lotos) and generates its state space.
+// internal/lotos) and generates its state space with the default engine.
+//
+// Deprecated: use Engine.FromLOTOS, which takes a context and the
+// engine's configured state bound.
 func FromLOTOS(src string, maxStates int) (*Model, error) {
-	sys, err := lotos.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	l, err := sys.Generate(process.GenOptions{MaxStates: maxStates})
-	if err != nil {
-		return nil, err
-	}
-	return &Model{L: l}, nil
+	eng := NewEngine(WithMaxStates(maxStates))
+	return eng.FromLOTOS(context.Background(), src)
 }
 
-// FromLTS wraps an existing LTS.
-func FromLTS(l *lts.LTS) *Model { return &Model{L: l} }
+// FromLTS wraps an existing LTS with the default engine.
+//
+// Deprecated: use Engine.FromLTS so the model inherits the engine's
+// options.
+func FromLTS(l *lts.LTS) *Model { return defaultEngine.FromLTS(l) }
 
-// States returns the number of states.
-func (m *Model) States() int { return m.L.NumStates() }
+// Compose starts a pipeline over the given components with the default
+// engine.
+//
+// Deprecated: use Engine.Compose so the pipeline inherits the engine's
+// options.
+func Compose(components ...*Model) *Pipeline { return defaultEngine.Compose(components...) }
 
-// Transitions returns the number of transitions.
-func (m *Model) Transitions() int { return m.L.NumTransitions() }
-
-// Minimize returns the quotient modulo the relation, computed by the
-// CSR-backed parallel refinement engine with default options.
-func (m *Model) Minimize(rel Relation) *Model {
-	q, _ := bisim.Minimize(m.L, rel)
-	return &Model{L: q}
-}
-
-// MinimizeWith is Minimize with an explicit refinement worker count
-// (0 = GOMAXPROCS).
-func (m *Model) MinimizeWith(rel Relation, workers int) *Model {
-	q, _ := bisim.MinimizeOpt(m.L, rel, bisim.Options{Workers: workers})
-	return &Model{L: q}
-}
-
-// Hide replaces the labels of the given gates by the internal action.
-func (m *Model) Hide(gates ...string) *Model {
-	set := map[string]bool{}
-	for _, g := range gates {
-		set[g] = true
-	}
-	return &Model{L: m.L.Hide(func(label string) bool {
-		return set[gateOf(label)]
-	})}
-}
-
-// Check parses a mu-calculus formula (internal/mcl syntax) and evaluates
-// it on the model's initial state.
-func (m *Model) Check(formula string) (mcl.Result, error) {
-	f, err := mcl.Parse(formula)
-	if err != nil {
-		return mcl.Result{}, err
-	}
-	return mcl.Verify(m.L, f)
-}
-
-// CheckDeadlockFree verifies absence of reachable deadlocks.
-func (m *Model) CheckDeadlockFree() (mcl.Result, error) {
-	return mcl.Verify(m.L, mcl.DeadlockFree())
-}
-
-// EquivalentTo compares two models modulo the relation, with a
-// distinguishing trace when trace sets differ.
-func (m *Model) EquivalentTo(other *Model, rel Relation) bisim.CompareResult {
-	return bisim.Compare(m.L, other.L, rel)
-}
+// Gate returns the gate of a transition label following LOTOS
+// conventions: the prefix before the first space ("get !1" -> "get").
+// Use it to group Measures.Throughputs entries per gate.
+func Gate(label string) string { return lts.Gate(label) }
 
 // Delay describes a delay to attach during decoration: the model must
 // expose the start and end of the delay as gates (the paper's
@@ -132,146 +106,4 @@ func Erlang(k int, rate float64) *phasetype.Distribution { return phasetype.Erla
 // distribution (mean exact, variance 1/k of exponential).
 func FixedDelay(d float64, k int) (*phasetype.Distribution, error) {
 	return phasetype.FitFixedDelay(d, k)
-}
-
-// PerfModel is a performance model: an IMC plus the operations of the
-// evaluation flow.
-type PerfModel struct {
-	M *imc.IMC
-}
-
-// Decorate attaches phase-type delays compositionally (synchronizing
-// delay processes on the start/end gates, then hiding them).
-func (m *Model) Decorate(delays ...Delay) (*PerfModel, error) {
-	im, err := imc.Decorate(m.L, delays, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &PerfModel{M: im}, nil
-}
-
-// DecorateRates replaces each listed label by an exponential delay of the
-// given rate (the paper's "direct" decoration).
-func (m *Model) DecorateRates(rates map[string]float64) (*PerfModel, error) {
-	im, err := imc.DecorateRates(m.L, rates)
-	if err != nil {
-		return nil, err
-	}
-	return &PerfModel{M: im}, nil
-}
-
-// Lump minimizes the IMC modulo strong Markovian bisimulation.
-func (p *PerfModel) Lump() *PerfModel {
-	q, _ := p.M.Lump()
-	return &PerfModel{M: q}
-}
-
-// States returns the number of IMC states.
-func (p *PerfModel) States() int { return p.M.NumStates() }
-
-// Measures holds the steady-state results of the performance flow.
-type Measures struct {
-	// Pi is the steady-state distribution over CTMC states.
-	Pi []float64
-	// Throughputs maps each visible label to its occurrence rate.
-	Throughputs map[string]float64
-	// CTMCStates is the size of the solved chain.
-	CTMCStates int
-}
-
-// SteadyState runs maximal progress, CTMC extraction (rejecting
-// nondeterminism unless sched is non-nil) and the steady-state solver.
-func (p *PerfModel) SteadyState(sched imc.Scheduler) (*Measures, error) {
-	mp := p.M.MaximalProgress()
-	res, err := mp.ToCTMC(sched)
-	if err != nil {
-		return nil, err
-	}
-	pi, err := res.SteadyState()
-	if err != nil {
-		return nil, err
-	}
-	ms := &Measures{Pi: pi, Throughputs: map[string]float64{}, CTMCStates: res.Chain.NumStates()}
-	for _, lab := range res.Labels() {
-		ms.Throughputs[lab] = res.ThroughputOf(pi, lab)
-	}
-	return ms, nil
-}
-
-// Transient computes the time-dependent distribution over CTMC states at
-// time t, plus the per-label throughput at that instant. The second
-// member of the paper's "steady-state or time-dependent state
-// probabilities and transition throughputs".
-func (p *PerfModel) Transient(t float64, sched imc.Scheduler) (*Measures, error) {
-	mp := p.M.MaximalProgress()
-	res, err := mp.ToCTMC(sched)
-	if err != nil {
-		return nil, err
-	}
-	pi, err := res.Transient(t)
-	if err != nil {
-		return nil, err
-	}
-	ms := &Measures{Pi: pi, Throughputs: map[string]float64{}, CTMCStates: res.Chain.NumStates()}
-	for _, lab := range res.Labels() {
-		ms.Throughputs[lab] = res.ThroughputOf(pi, lab)
-	}
-	return ms, nil
-}
-
-// MeanTimeTo computes the expected time until a transition carrying the
-// exact label first fires, from the initial state: the latency measure
-// used for the FAME2 MPI predictions. The computation is exact: the
-// labeled transitions are redirected to a fresh absorbing state before
-// CTMC extraction, and the expected absorption time is solved.
-func (p *PerfModel) MeanTimeTo(label string, sched imc.Scheduler) (float64, error) {
-	mp := p.M.MaximalProgress()
-	// Redirect every `label` transition to a fresh absorbing state.
-	redirected := imc.New(mp.Name() + ".fpt")
-	redirected.Inter.AddStates(mp.NumStates())
-	goal := redirected.AddState()
-	found := false
-	mp.Inter.EachTransition(func(t lts.Transition) {
-		lab := mp.Inter.LabelName(t.Label)
-		if lab == label {
-			found = true
-			redirected.AddInteractive(t.Src, lab, goal)
-			return
-		}
-		redirected.AddInteractive(t.Src, lab, t.Dst)
-	})
-	if !found {
-		return 0, fmt.Errorf("multival: label %q never occurs", label)
-	}
-	redirected.AppendMarkov(mp.Markov)
-	redirected.Inter.SetInitial(mp.Initial())
-
-	res, err := redirected.ToCTMC(sched)
-	if err != nil {
-		return 0, err
-	}
-	gi := res.IndexOf[goal]
-	if gi < 0 {
-		return 0, fmt.Errorf("multival: goal state eliminated (label %q instantaneous from the start?)", label)
-	}
-	h, err := res.Chain.ExpectedTimeToAbsorption([]int{gi}, markov.SolveOptions{})
-	if err != nil {
-		return 0, err
-	}
-	// Weight by the initial distribution (the initial state may resolve
-	// probabilistically).
-	total := 0.0
-	for s, pr := range res.InitialDist {
-		total += pr * h[s]
-	}
-	return total, nil
-}
-
-func gateOf(label string) string {
-	for i := 0; i < len(label); i++ {
-		if label[i] == ' ' {
-			return label[:i]
-		}
-	}
-	return label
 }

@@ -1,6 +1,7 @@
 package multival
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -45,7 +46,10 @@ func TestMinimizeAndEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := m.Minimize(Branching)
+	q, err := m.Minimize(Branching)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if q.States() > m.States() {
 		t.Fatal("minimization grew the model")
 	}
@@ -98,11 +102,14 @@ func TestPerformanceFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lumped := p.Lump()
+	lumped, err := p.Lump(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lumped.States() > p.States() {
 		t.Fatal("lumping grew the IMC")
 	}
-	ms, err := lumped.SteadyState(nil)
+	ms, err := lumped.SteadyState(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +131,7 @@ func TestDecorateRatesFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, err := p.SteadyState(nil)
+	ms, err := p.SteadyState(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,14 +158,14 @@ func TestMeanTimeTo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat, err := p.MeanTimeTo("done", nil)
+	lat, err := p.MeanTimeTo(context.Background(), "done")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(lat-0.5) > 1e-8 {
 		t.Fatalf("first done after %g, want 0.5", lat)
 	}
-	if _, err := p.MeanTimeTo("nope", nil); err == nil {
+	if _, err := p.MeanTimeTo(context.Background(), "nope"); err == nil {
 		t.Fatal("unknown label accepted")
 	}
 }

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Smoke test: build every CLI binary and run one tiny pipeline through
+# each, so flag regressions fail the build. Run via `make smoke`.
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "smoke: building binaries"
+go build -o "$tmp/bin/" ./cmd/...
+
+cat > "$tmp/buf.lotos" <<'EOF'
+process Buf :=
+    put ?x:0..1 ; get !x ; Buf
+endproc
+behaviour Buf
+EOF
+
+echo "smoke: generate"
+"$tmp/bin/generate" -lotos "$tmp/buf.lotos" -o "$tmp/buf.aut"
+test -s "$tmp/buf.aut"
+
+echo "smoke: reduce"
+"$tmp/bin/reduce" -rel branching -workers 2 -timeout 30s -o "$tmp/buf.min.aut" "$tmp/buf.aut"
+test -s "$tmp/buf.min.aut"
+
+echo "smoke: compare"
+"$tmp/bin/compare" -rel branching "$tmp/buf.aut" "$tmp/buf.min.aut" | grep -q TRUE
+
+echo "smoke: evaluate"
+"$tmp/bin/evaluate" -deadlock "$tmp/buf.min.aut" | grep -q TRUE
+
+echo "smoke: solve (steady + transient)"
+"$tmp/bin/solve" -rate put=1 -rate get=2 -marker get "$tmp/buf.min.aut" | grep -q "throughputs:"
+"$tmp/bin/solve" -rate put=1 -rate get=2 -marker get -at 0.5 "$tmp/buf.min.aut" | grep -q "t=0.5"
+
+echo "smoke: experiments (E3)"
+"$tmp/bin/experiments" -timeout 2m E3 | grep -q "E3"
+
+echo "smoke: OK"
