@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race smoke bench bench-engine check
+.PHONY: build test vet race smoke bench bench-engine bench-solver check
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled tests of the concurrent layers: the parallel refinement
-# engine and the pipeline package (root), which minimizes composition
-# operands concurrently.
+# engine, the pipeline package (root), the CSR sweep kernels and the
+# solvers sharding them across workers.
 race:
-	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc
 
 # One tiny pipeline through every CLI binary; flag regressions fail here.
 smoke:
@@ -29,5 +29,12 @@ bench:
 # 10k/40k/100k states and parallel-vs-sequential partition refinement.
 bench-engine:
 	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
+
+# The solver trajectory: 100k-state steady state (CSR kernel vs the
+# closure reference vs parallel Jacobi), multi-BSCC absorption, parallel
+# uniformization and policy-iteration throughput bounds, repeated for
+# benchstat and summarized into BENCH_PR3.json.
+bench-solver:
+	./scripts/bench.sh
 
 check: build vet test race smoke

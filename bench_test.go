@@ -8,6 +8,7 @@ package multival
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"multival/internal/bisim"
@@ -164,7 +165,7 @@ func BenchmarkE7Nondeterminism(b *testing.B) {
 		m.AddInteractive(fdone, "served", idle)
 		m.AddInteractive(sdone, "served", idle)
 		m.Inter.SetInitial(idle)
-		lo, hi, err := m.ThroughputBounds("served", 0)
+		lo, hi, err := m.ThroughputBounds("served", markov.SolveOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,17 +268,217 @@ func BenchmarkModelCheckRouter(b *testing.B) {
 	}
 }
 
-func BenchmarkSteadyStateLargeChain(b *testing.B) {
-	const n = 2000
+// ---- solver benchmarks (the CSR sweep kernels, PR 3) ----
+
+// largeChain builds an irreducible n-state chain (ring backbone plus two
+// random chords per state, ~300k transitions at n=100k). The chords keep
+// the mixing time small, so the benchmark measures kernel sweep
+// throughput rather than the chain's spectral gap.
+func largeChain(n int) *markov.CTMC {
+	rng := rand.New(rand.NewSource(int64(n)))
 	c := markov.NewCTMC(n)
-	for i := 0; i < n-1; i++ {
-		c.MustAdd(i, i+1, 1.5, "")
-		c.MustAdd(i+1, i, 2.0, "")
+	for i := 0; i < n; i++ {
+		c.MustAdd(i, (i+1)%n, 0.5+rng.Float64()*2, "")
+		for e := 0; e < 2; e++ {
+			if j := rng.Intn(n); j != i {
+				c.MustAdd(i, j, 0.2+rng.Float64(), "")
+			}
+		}
 	}
+	return c
+}
+
+// BenchmarkSteadyStateLargeChain solves a 100k-state chain with the
+// sequential Gauss–Seidel kernel (the default path).
+func BenchmarkSteadyStateLargeChain(b *testing.B) {
+	c := largeChain(100_000)
+	c.Freeze()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.SteadyState(markov.SolveOptions{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateLargeChainClosures solves the same chain with the
+// pre-PR kernel — per-state closure dispatch (EachFrom) into an edge-list
+// adjacency built through maps — making the CSR kernel's speedup
+// directly measurable against BenchmarkSteadyStateLargeChain.
+func BenchmarkSteadyStateLargeChainClosures(b *testing.B) {
+	c := largeChain(100_000)
+	c.Freeze()
+	n := c.NumStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The old stationaryWithin: incoming edge lists gathered per
+		// destination via the tag-table closure, then swept.
+		type inEdge struct {
+			from int
+			rate float64
+		}
+		indexOf := make(map[int]int, n)
+		for s := 0; s < n; s++ {
+			indexOf[s] = s
+		}
+		in := make([][]inEdge, n)
+		exit := make([]float64, n)
+		for s := 0; s < n; s++ {
+			exit[s] = c.ExitRate(s)
+			c.EachFrom(s, func(t markov.Transition) {
+				j, ok := indexOf[t.Dst]
+				if !ok {
+					return
+				}
+				in[j] = append(in[j], inEdge{s, t.Rate})
+			})
+		}
+		pi := make([]float64, n)
+		for j := range pi {
+			pi[j] = 1 / float64(n)
+		}
+		for iter := 0; iter < 1_000_000; iter++ {
+			maxDelta := 0.0
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for _, e := range in[j] {
+					sum += pi[e.from] * e.rate
+				}
+				next := sum / exit[j]
+				if d := next - pi[j]; d > maxDelta {
+					maxDelta = d
+				} else if -d > maxDelta {
+					maxDelta = -d
+				}
+				pi[j] = next
+			}
+			total := 0.0
+			for _, p := range pi {
+				total += p
+			}
+			for j := range pi {
+				pi[j] /= total
+			}
+			if maxDelta < 1e-12 {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSteadyStateLargeChainJacobi solves the same chain with the
+// parallel damped-Jacobi kernel sharded across GOMAXPROCS workers.
+func BenchmarkSteadyStateLargeChainJacobi(b *testing.B) {
+	c := largeChain(100_000)
+	c.Freeze()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyState(markov.SolveOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbsorptionMultiBSCC weights eight BSCC rings by absorption
+// probability from a 50k-state transient mesh: the multi-BSCC path
+// (absorption hitting systems + per-BSCC stationary solves).
+func BenchmarkAbsorptionMultiBSCC(b *testing.B) {
+	const transient, bsccs, ring = 50_000, 8, 64
+	c := markov.NewCTMC(transient + bsccs*ring)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < transient; i++ {
+		if i < transient-1 {
+			c.MustAdd(i, i+1, 1+rng.Float64(), "")
+		}
+		if j := rng.Intn(transient); j != i {
+			c.MustAdd(i, j, rng.Float64(), "")
+		}
+		// Every eighth state can absorb directly, keeping the expected
+		// walk length (and so the sweep count) small: the benchmark
+		// measures kernel throughput, not an adversarial mixing time.
+		if i%8 == 0 {
+			c.MustAdd(i, transient+rng.Intn(bsccs*ring), 0.5+rng.Float64(), "")
+		}
+	}
+	c.MustAdd(transient-1, transient, 0.1+rng.Float64(), "")
+	for k := 0; k < bsccs; k++ {
+		base := transient + k*ring
+		for s := 0; s < ring; s++ {
+			c.MustAdd(base+s, base+(s+1)%ring, 1+rng.Float64(), "")
+		}
+	}
+	c.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi, err := c.SteadyState(markov.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pi[transient] == 0 {
+			b.Fatal("no mass absorbed")
+		}
+	}
+}
+
+// BenchmarkTransientLargeChain runs uniformization on a 100k-state chain
+// with the parallel row-sharded matrix-vector product.
+func BenchmarkTransientLargeChain(b *testing.B) {
+	c := largeChain(100_000)
+	c.Freeze()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(3, markov.SolveOptions{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// boundsRing is the policy-iteration workload: a tangible ring where
+// every hop passes a nondeterministic vanishing state choosing between a
+// direct route and a slower detour, only some routes crossing "work".
+func boundsRing(n int) *imc.IMC {
+	rng := rand.New(rand.NewSource(42))
+	m := imc.New("bounds-ring")
+	ring := make([]lts.State, n)
+	for i := range ring {
+		ring[i] = m.AddState()
+	}
+	for i := range ring {
+		next := ring[(i+1)%n]
+		v := m.AddState()
+		m.MustAddRate(ring[i], v, 0.5+2*rng.Float64())
+		label := "work"
+		if i%2 == 0 {
+			label = lts.Tau
+		}
+		m.AddInteractive(v, label, next)
+		mid := m.AddState()
+		m.AddInteractive(v, lts.Tau, mid)
+		m.MustAddRate(mid, next, 0.3+3*rng.Float64())
+	}
+	m.Inter.SetInitial(ring[0])
+	return m
+}
+
+// BenchmarkThroughputBoundsPolicy bounds the throughput of a model with
+// 24 nondeterministic states — 2^24 schedulers, which the odometer
+// enumeration rejects at its default combination limit — by policy
+// iteration.
+func BenchmarkThroughputBoundsPolicy(b *testing.B) {
+	m := boundsRing(24)
+	if _, _, err := m.ThroughputBoundsEnum("work", 0); err == nil {
+		b.Fatal("odometer enumeration accepted 2^24 scheduler combinations")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo, hi, err := m.ThroughputBounds("work", markov.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !(lo <= hi) {
+			b.Fatalf("degenerate bounds [%g, %g]", lo, hi)
 		}
 	}
 }

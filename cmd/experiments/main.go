@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -24,6 +25,7 @@ import (
 	"multival/internal/faust"
 	"multival/internal/imc"
 	"multival/internal/lts"
+	"multival/internal/markov"
 	"multival/internal/mcl"
 	"multival/internal/phasetype"
 	"multival/internal/xstream"
@@ -297,11 +299,19 @@ func e7() error {
 		return err
 	}
 	fmt.Printf("uniform scheduler:   served throughput = %.4f\n", res.ThroughputOf(pi, "served"))
-	lo, hi, err := m.ThroughputBounds("served", 0)
+	lo, hi, err := m.ThroughputBounds("served", markov.SolveOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("extremal schedulers: served throughput in [%.4f, %.4f]\n", lo, hi)
+	fmt.Printf("extremal schedulers: served throughput in [%.4f, %.4f] (policy iteration)\n", lo, hi)
+	elo, ehi, err := m.ThroughputBoundsEnum("served", 0)
+	if err != nil {
+		return err
+	}
+	if math.Abs(elo-lo) > 1e-6 || math.Abs(ehi-hi) > 1e-6 {
+		return fmt.Errorf("policy iteration [%g, %g] disagrees with enumeration [%g, %g]", lo, hi, elo, ehi)
+	}
+	fmt.Println("enumeration cross-check: agreed")
 	return nil
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 
@@ -31,10 +32,11 @@ func main() {
 		markers = flag.String("marker", "", "comma-separated gates whose throughput to report")
 		uniform = flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
 		at      = flag.Float64("at", -1, "solve the transient distribution at this time instead of the steady state")
+		bounds  = flag.String("bounds", "", "comma-separated labels whose throughput to bound over all deterministic schedulers (policy iteration)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || len(rates.Rates) == 0 {
-		c.Usage("solve -rate gate=RATE [...] [-marker g1,g2] [-uniform-scheduler] [-at T] [-timeout D] model.aut")
+		c.Usage("solve -rate gate=RATE [...] [-marker g1,g2] [-uniform-scheduler] [-at T] [-bounds l1,l2] [-timeout D] model.aut")
 	}
 
 	l, err := cli.LoadLTS(flag.Arg(0))
@@ -65,24 +67,41 @@ func main() {
 	} else {
 		ms, err = pm.SteadyState(ctx)
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		fmt.Printf("CTMC: %d states\n", ms.CTMCStates)
+		if *at >= 0 {
+			fmt.Printf("state probabilities at t=%g:\n", *at)
+		} else {
+			fmt.Println("steady-state probabilities:")
+		}
+		for i, p := range ms.Pi {
+			if p > 1e-12 {
+				fmt.Printf("  state %4d (imc %4d): %.6f\n", i, ms.StateOf[i], p)
+			}
+		}
+		if len(ms.Throughputs) > 0 {
+			fmt.Println("throughputs:")
+			for _, lab := range cli.SortedKeys(ms.Throughputs) {
+				fmt.Printf("  %-20s %.6f /time-unit\n", lab, ms.Throughputs[lab])
+			}
+		}
+	case *bounds != "" && errors.Is(err, multival.ErrNondeterministic):
+		// The point measure needs a scheduler, but bounding over ALL
+		// deterministic schedulers is exactly what -bounds is for:
+		// skip the point measure and report the bounds.
+		fmt.Printf("point measure skipped: %v\n", err)
+	default:
 		c.Fatal(1, err)
 	}
-	fmt.Printf("CTMC: %d states\n", ms.CTMCStates)
-	if *at >= 0 {
-		fmt.Printf("state probabilities at t=%g:\n", *at)
-	} else {
-		fmt.Println("steady-state probabilities:")
-	}
-	for i, p := range ms.Pi {
-		if p > 1e-12 {
-			fmt.Printf("  state %4d (imc %4d): %.6f\n", i, ms.StateOf[i], p)
-		}
-	}
-	if len(ms.Throughputs) > 0 {
-		fmt.Println("throughputs:")
-		for _, lab := range cli.SortedKeys(ms.Throughputs) {
-			fmt.Printf("  %-20s %.6f /time-unit\n", lab, ms.Throughputs[lab])
+	if *bounds != "" {
+		fmt.Println("throughput bounds over deterministic schedulers:")
+		for _, lab := range cli.Gates(*bounds) {
+			lo, hi, err := pm.ThroughputBounds(ctx, lab)
+			if err != nil {
+				c.Fatal(1, err)
+			}
+			fmt.Printf("  %-20s [%.6f, %.6f] /time-unit\n", lab, lo, hi)
 		}
 	}
 }

@@ -46,7 +46,8 @@ var (
 // as applicable to the stage; zero values mean "not meaningful here".
 type Progress struct {
 	// Stage names the operation: "generate", "compose", "refine",
-	// "lump", "extract", "steady", "absorb", "transient", "fpt".
+	// "lump", "extract", "steady", "absorb", "transient", "fpt",
+	// "bias".
 	Stage string
 	// States is the number of states explored or in play.
 	States int

@@ -15,7 +15,7 @@ import (
 // resolve them. The CADP Markov solvers of the paper's era reject such
 // models outright (§5 lists "new algorithms to handle nondeterminism" as
 // work in progress); pass a Scheduler to resolve, or use ThroughputBounds
-// to quantify the induced uncertainty.
+// (policy iteration, bounds.go) to quantify the induced uncertainty.
 type NondeterminismError struct {
 	State        lts.State
 	Alternatives int
@@ -348,13 +348,14 @@ func (r *CTMCResult) Labels() []string {
 	return out
 }
 
-// ThroughputBounds enumerates deterministic schedulers over the
-// nondeterministic vanishing states (up to maxCombos combinations) and
-// returns the minimal and maximal steady-state throughput of the label.
-// This implements the "handle nondeterminism" extension the paper lists
-// as an open issue: instead of rejecting nondeterministic models, bound
-// the measure over all memoryless deterministic resolutions.
-func (m *IMC) ThroughputBounds(label string, maxCombos int) (min, max float64, err error) {
+// ThroughputBoundsEnum enumerates deterministic schedulers over the
+// nondeterministic vanishing states (up to maxCombos combinations,
+// default 4096) and returns the minimal and maximal steady-state
+// throughput of the label. Exponential in the number of nondeterministic
+// states, it survives as the exhaustive differential reference for the
+// policy-iteration ThroughputBounds (see bounds.go); use it only on
+// small models.
+func (m *IMC) ThroughputBoundsEnum(label string, maxCombos int) (min, max float64, err error) {
 	if maxCombos <= 0 {
 		maxCombos = 4096
 	}

@@ -114,6 +114,16 @@ func (m *IMC) rateMatrix() *sparse.Matrix {
 	return m.rm
 }
 
+// Freeze eagerly builds the lazy CSR rate matrix so that subsequent
+// read-only traversals (EachRateFrom, RateDegree, ExitRate, CTMC
+// extraction, ThroughputBounds) never write the cache and are safe for
+// concurrent use, as long as no mutation (AddState, AddRate,
+// AppendMarkov) runs concurrently. Mutating after Freeze invalidates the
+// matrix; call Freeze again before resuming concurrent reads.
+func (m *IMC) Freeze() {
+	m.rateMatrix()
+}
+
 // EachRateFrom calls f for every Markovian transition leaving s, in
 // ascending destination order.
 func (m *IMC) EachRateFrom(s lts.State, f func(MTransition)) {

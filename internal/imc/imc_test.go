@@ -234,7 +234,17 @@ func TestUniformSchedulerResolves(t *testing.T) {
 
 func TestThroughputBounds(t *testing.T) {
 	m := nondetModel()
-	min, max, err := m.ThroughputBounds("fast", 0)
+	min, max, err := m.ThroughputBounds("fast", markov.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, min, 0, 1e-9, "min fast")
+	almost(t, max, 1, 1e-9, "max fast")
+}
+
+func TestThroughputBoundsEnum(t *testing.T) {
+	m := nondetModel()
+	min, max, err := m.ThroughputBoundsEnum("fast", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

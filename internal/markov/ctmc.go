@@ -28,10 +28,16 @@ type Transition struct {
 // CTMC is a finite continuous-time Markov chain with a distinguished
 // initial state.
 //
-// A CTMC is not safe for concurrent use: queries lazily freeze the CSR
-// view on first access (and Add invalidates it), so even read-only
-// methods may write the cache. Guard with a mutex or give each goroutine
-// its own chain when solving concurrently.
+// Concurrency contract: a CTMC being mutated is not safe for concurrent
+// use, and neither are the lazy caches — queries freeze the CSR view on
+// first access (and Add invalidates it), so even read-only methods may
+// write the cache. Call Freeze() after the last Add to pre-build both CSR
+// views; from then on every read-only method (EachFrom, SteadyState,
+// Transient, ExpectedTimeToAbsorption, Bias, ...) is safe to call from
+// several goroutines at once, as long as no Add/SetInitial runs
+// concurrently. The solvers freeze internally before sharding sweeps
+// across workers, so a single solve call is always race-free; Freeze
+// matters when the CALLER fans one chain out to several goroutines.
 type CTMC struct {
 	numStates int
 	initial   int
@@ -123,6 +129,17 @@ func (c *CTMC) incoming() *sparse.Matrix {
 		c.tin = c.matrix().Transpose()
 	}
 	return c.tin
+}
+
+// Freeze eagerly builds both lazy CSR views (outgoing and incoming
+// adjacency), so that subsequent read-only methods never write the cache
+// and are safe for concurrent use (see the type's concurrency contract).
+// Adding transitions after Freeze invalidates the views; call Freeze
+// again before resuming concurrent reads. Idempotent and cheap when
+// already frozen.
+func (c *CTMC) Freeze() {
+	c.matrix()
+	c.incoming()
 }
 
 // ExitRate returns the total outgoing rate of a state (0 for absorbing).

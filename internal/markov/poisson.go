@@ -1,0 +1,86 @@
+package markov
+
+import (
+	"math"
+
+	"multival/internal/engine"
+	"multival/internal/sparse"
+)
+
+// Bias solves the Poisson equation of the chain for a state reward-rate
+// vector: given the long-run average reward (gain) g = sum_i pi_i *
+// reward_i, it returns relative values h satisfying
+//
+//	h_s = (reward_s - g + sum_d rate(s->d) * h_d) / E_s
+//
+// for non-absorbing states, normalized so h[initial] = 0; absorbing
+// states keep h = 0 (with zero exit rate their relative value is pinned
+// by the boundary). The bias measures the transient reward advantage of
+// starting in a state, and is the improvement gradient of average-reward
+// (Howard) policy iteration: a policy switch is profitable exactly when
+// it increases instantaneous reward plus successor bias.
+//
+// The sweep is always the DAMPED Jacobi hitting kernel (sequential on
+// one chunk unless opts.Workers asks for more): the Gauss–Seidel order
+// sweeps along OUTGOING edges, and on a cycle of odd length its
+// iteration operator keeps an eigenvalue of modulus one, so the iterate
+// oscillates forever; the damped Jacobi operator is (I + P)/2 with P the
+// embedded jump chain, whose spectrum it maps strictly inside the unit
+// disk except at the constant direction. That direction is projected to
+// h[initial] = 0 after every sweep; convergence is measured relative to
+// the magnitude of h. The equation is singular along the constant
+// vector, and the gain cancels its drift only for unichain structure —
+// a chain with several BSCCs (whose local gains generally differ from
+// g) is rejected up front with IrreducibilityError rather than letting
+// the iterate drift through the whole iteration budget.
+func (c *CTMC) Bias(reward []float64, gain float64, opts SolveOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := c.numStates
+	c.matrix() // the bias sweep never reads the incoming view
+	if bsccs := c.bsccs(); len(bsccs) > 1 {
+		return nil, &IrreducibilityError{bsccs[1][0], "is in a second bottom component (bias needs unichain structure)"}
+	}
+	mat := c.matrix()
+	skip := make([]bool, n)
+	b := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if c.exitRate[s] == 0 {
+			skip[s] = true
+			continue
+		}
+		b[s] = reward[s] - gain
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	h := make([]float64, n)
+	next := make([]float64, n)
+	ref := c.initial
+	residual := math.Inf(1)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := opts.canceled("bias", iter); err != nil {
+			return nil, err
+		}
+		residual = sparse.HittingSweepJacobi(mat, skip, b, c.exitRate, h, next, workers)
+		h, next = next, h
+		// Project out the constant direction and measure scale.
+		shift := h[ref]
+		norm := 0.0
+		for s := 0; s < n; s++ {
+			if !skip[s] {
+				h[s] -= shift
+			}
+			if a := math.Abs(h[s]); a > norm {
+				norm = a
+			}
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: "bias", States: n, Round: iter, Residual: residual})
+		}
+		if residual < opts.Tolerance*(1+norm) {
+			return h, nil
+		}
+	}
+	return nil, &ConvergenceError{opts.MaxIterations, residual}
+}

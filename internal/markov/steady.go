@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"multival/internal/engine"
+	"multival/internal/sparse"
 )
 
 // SolveOptions tunes the iterative solvers.
@@ -15,15 +16,21 @@ type SolveOptions struct {
 	Tolerance float64
 	// MaxIterations bounds the iteration count (default 1_000_000).
 	MaxIterations int
-	// Ctx, when non-nil, cancels the solver: every Gauss–Seidel sweep
-	// and uniformization step checks it, and the solve returns
-	// Ctx.Err() (wrapped) once the context is done. Carried in the
-	// options struct so it threads through the nested solver helpers
-	// without widening every signature.
+	// Workers selects the solver kernel: values above 1 run the
+	// parallel Jacobi sweeps (rows chunk-sharded across that many
+	// goroutines) and the parallel uniformization product; 0 or 1 keeps
+	// the sequential Gauss–Seidel default, which needs fewer sweeps to
+	// converge on one core.
+	Workers int
+	// Ctx, when non-nil, cancels the solver: every sweep and
+	// uniformization step checks it, and the solve returns Ctx.Err()
+	// (wrapped) once the context is done. Carried in the options struct
+	// so it threads through the nested solver helpers without widening
+	// every signature.
 	Ctx context.Context
 	// Progress, when non-nil, observes solver sweeps (stage "steady",
-	// "absorb", "fpt" or "transient"; Round is the sweep number,
-	// Residual the current max-norm delta).
+	// "absorb", "fpt", "bias" or "transient"; Round is the sweep
+	// number, Residual the current max-norm delta).
 	Progress engine.ProgressFunc
 }
 
@@ -37,6 +44,10 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	return o
 }
 
+// parallel reports whether the options select the parallel Jacobi
+// kernels.
+func (o SolveOptions) parallel() bool { return o.Workers > 1 }
+
 // canceled returns the wrapped context error once the solve's context is
 // done, nil otherwise.
 func (o SolveOptions) canceled(stage string, sweep int) error {
@@ -49,7 +60,8 @@ func (o SolveOptions) canceled(stage string, sweep int) error {
 // progressEvery is the number of solver sweeps between progress reports.
 const progressEvery = 128
 
-// ConvergenceError reports that an iterative solver did not converge.
+// ConvergenceError reports that an iterative solver did not converge;
+// Residual carries the max-norm delta of the last sweep.
 type ConvergenceError struct {
 	Iterations int
 	Residual   float64
@@ -90,6 +102,7 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("markov: empty chain")
 	}
+	c.matrix() // the steady solvers never read the incoming view
 	bsccs := c.bsccs()
 	if len(bsccs) == 0 {
 		return nil, fmt.Errorf("markov: no bottom component (internal error)")
@@ -129,59 +142,77 @@ func (c *CTMC) SteadyState(opts SolveOptions) ([]float64, error) {
 }
 
 // stationaryWithin solves the stationary distribution restricted to one
-// BSCC using Gauss–Seidel on the balance equations
+// BSCC from the balance equations
 //
 //	pi_j * E_j = sum_i pi_i * rate(i->j),
 //
-// renormalizing every sweep. An absorbing singleton gets probability 1.
+// renormalizing every sweep. The BSCC's incoming submatrix is compacted
+// once into a local CSR form, then every sweep reads the flat
+// rowOff/col/val arrays (Gauss–Seidel in place by default, parallel
+// Jacobi when opts.Workers > 1). An absorbing singleton gets
+// probability 1.
 func (c *CTMC) stationaryWithin(members []int, opts SolveOptions) ([]float64, error) {
 	m := len(members)
 	if m == 1 {
 		return []float64{1}, nil
 	}
-	indexOf := make(map[int]int, m)
-	for i, s := range members {
-		indexOf[s] = i
-	}
-	// Incoming transitions restricted to the component.
-	type inEdge struct {
-		from int // local index
-		rate float64
-	}
-	in := make([][]inEdge, m)
+	// Local incoming submatrix: row j lists the in-component transitions
+	// into members[j]. Row sums of the outgoing submatrix are the local
+	// exit rates (a BSCC has no edge leaving the component, so they
+	// equal the full exit rates; compacting keeps that true by
+	// construction even on defective input).
+	sub := c.matrix().Submatrix(members)
+	tin := sub.Transpose()
 	exit := make([]float64, m)
-	for i, s := range members {
-		exit[i] = c.exitRate[s]
-		c.EachFrom(s, func(t Transition) {
-			j, ok := indexOf[t.Dst]
-			if !ok {
-				return // cannot happen in a BSCC, defensive
-			}
-			in[j] = append(in[j], inEdge{i, t.Rate})
-		})
+	for i := range exit {
+		exit[i] = sub.RowSum(i)
 	}
+
 	pi := make([]float64, m)
 	for i := range pi {
 		pi[i] = 1 / float64(m)
 	}
+	// Gauss–Seidel is the sequential default, but its convergence depends
+	// on the sweep order agreeing with the cycle structure: on an
+	// odd-length cycle oriented against the index order the sweep
+	// operator keeps an eigenvalue of modulus one and the residual
+	// stagnates. Detect stagnation (the residual failing to shrink
+	// across a window) and fall back to the damped Jacobi sweep, which is
+	// semiconvergent on every irreducible component regardless of
+	// orientation.
+	useJacobi := opts.parallel()
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var next []float64
+	if useJacobi {
+		next = make([]float64, m)
+	}
+	const stagnationWindow = 128
+	windowResidual := math.Inf(1)
+	residual := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := opts.canceled("steady", iter); err != nil {
 			return nil, err
 		}
-		maxDelta := 0.0
-		for j := 0; j < m; j++ {
-			if exit[j] == 0 {
-				continue // absorbing state inside a BSCC of size>1 is impossible
+		if useJacobi {
+			residual = sparse.StationarySweepJacobi(tin, exit, pi, next, workers)
+			pi, next = next, pi
+		} else {
+			residual = sparse.StationarySweepGS(tin, exit, pi)
+			if iter%stagnationWindow == stagnationWindow-1 {
+				// Oscillation holds the residual constant (ratio ~1);
+				// a chain merely converging slowly still shrinks it.
+				// The 0.999 threshold only trips at a per-sweep factor
+				// above 0.999992 — where Gauss–Seidel is effectively
+				// stuck too, so the damped-Jacobi penalty is moot.
+				if residual >= 0.999*windowResidual {
+					useJacobi = true
+					next = make([]float64, m)
+				}
+				windowResidual = residual
 			}
-			sum := 0.0
-			for _, e := range in[j] {
-				sum += pi[e.from] * e.rate
-			}
-			next := sum / exit[j]
-			if d := math.Abs(next - pi[j]); d > maxDelta {
-				maxDelta = d
-			}
-			pi[j] = next
 		}
 		// Normalize.
 		total := 0.0
@@ -195,19 +226,20 @@ func (c *CTMC) stationaryWithin(members []int, opts SolveOptions) ([]float64, er
 			pi[j] /= total
 		}
 		if iter%progressEvery == 0 {
-			opts.Progress.Report(engine.Progress{Stage: "steady", States: m, Round: iter, Residual: maxDelta})
+			opts.Progress.Report(engine.Progress{Stage: "steady", States: m, Round: iter, Residual: residual})
 		}
-		if maxDelta < opts.Tolerance {
+		if residual < opts.Tolerance {
 			return pi, nil
 		}
 	}
-	return nil, &ConvergenceError{opts.MaxIterations, math.NaN()}
+	return nil, &ConvergenceError{opts.MaxIterations, residual}
 }
 
 // absorptionProbabilities computes, for each BSCC, the probability that
 // the chain started in the initial state is absorbed into it, by solving
-// the linear system over transient states with Gauss–Seidel on the
-// embedded jump chain.
+// the linear system over transient states on the flat CSR arrays. Only
+// k-1 of the k systems are solved: the absorption probabilities sum to
+// one, so the last BSCC gets the complement.
 func (c *CTMC) absorptionProbabilities(bsccs [][]int, opts SolveOptions) ([]float64, error) {
 	n := c.numStates
 	inBSCC := make([]int, n)
@@ -224,43 +256,61 @@ func (c *CTMC) absorptionProbabilities(bsccs [][]int, opts SolveOptions) ([]floa
 		weights[b] = 1
 		return weights, nil
 	}
-	// h[s][bi]: absorption probability from transient s — solve one
-	// system per BSCC (k-1 systems suffice, but clarity wins).
-	for bi := range bsccs {
-		h := make([]float64, n)
+	// h[s] per system bi: absorption probability from transient state s,
+	// with h fixed at 1 inside BSCC bi and 0 inside the others:
+	// h[s] = (sum_d rate(s->d)*h[d]) / exit[s] over transient states.
+	mat := c.matrix()
+	skip := make([]bool, n)
+	for s := 0; s < n; s++ {
+		skip[s] = inBSCC[s] >= 0
+	}
+	b := make([]float64, n) // zero right-hand side
+	h := make([]float64, n)
+	var next []float64
+	if opts.parallel() {
+		next = make([]float64, n)
+	}
+	rest := 1.0
+	for bi := 0; bi < len(bsccs)-1; bi++ {
 		for s := 0; s < n; s++ {
 			if inBSCC[s] == bi {
 				h[s] = 1
+			} else {
+				h[s] = 0
 			}
 		}
+		residual := math.Inf(1)
+		converged := false
 		for iter := 0; iter < opts.MaxIterations; iter++ {
 			if err := opts.canceled("absorb", iter); err != nil {
 				return nil, err
 			}
-			maxDelta := 0.0
-			for s := 0; s < n; s++ {
-				if inBSCC[s] >= 0 {
-					continue
-				}
-				sum := 0.0
-				c.EachFrom(s, func(t Transition) {
-					sum += t.Rate * h[t.Dst]
-				})
-				next := sum / c.exitRate[s] // transient states have exits
-				if d := math.Abs(next - h[s]); d > maxDelta {
-					maxDelta = d
-				}
-				h[s] = next
+			if opts.parallel() {
+				residual = sparse.HittingSweepJacobi(mat, skip, b, c.exitRate, h, next, opts.Workers)
+				h, next = next, h
+			} else {
+				residual = sparse.HittingSweepGS(mat, skip, b, c.exitRate, h)
 			}
-			if maxDelta < opts.Tolerance {
+			if iter%progressEvery == 0 {
+				opts.Progress.Report(engine.Progress{Stage: "absorb", States: n, Round: iter, Residual: residual})
+			}
+			if residual < opts.Tolerance {
+				converged = true
 				break
 			}
-			if iter == opts.MaxIterations-1 {
-				return nil, &ConvergenceError{opts.MaxIterations, maxDelta}
-			}
+		}
+		if !converged {
+			return nil, &ConvergenceError{opts.MaxIterations, residual}
 		}
 		weights[bi] = h[c.initial]
+		rest -= weights[bi]
 	}
+	// The last system is determined by the others: probabilities of
+	// absorption sum to one.
+	if rest < 0 {
+		rest = 0
+	}
+	weights[len(bsccs)-1] = rest
 	// Normalize tiny numerical drift.
 	total := 0.0
 	for _, w := range weights {
@@ -310,6 +360,7 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 		}
 		isTarget[s] = true
 	}
+	c.Freeze()
 	// Reachability check (backwards from targets, over the shared
 	// transposed rate matrix).
 	canReach := make([]bool, n)
@@ -341,32 +392,37 @@ func (c *CTMC) ExpectedTimeToAbsorption(targets []int, opts SolveOptions) ([]flo
 		}
 	}
 
+	// h[s] = (1 + sum_d rate(s->d)*h[d]) / exit[s] on non-targets, swept
+	// over the flat CSR arrays.
+	mat := c.matrix()
+	b := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if !isTarget[s] {
+			b[s] = 1
+		}
+	}
 	h := make([]float64, n)
+	var next []float64
+	if opts.parallel() {
+		next = make([]float64, n)
+	}
+	residual := math.Inf(1)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if err := opts.canceled("fpt", iter); err != nil {
 			return nil, err
 		}
-		maxDelta := 0.0
-		for s := 0; s < n; s++ {
-			if isTarget[s] {
-				continue
-			}
-			sum := 0.0
-			c.EachFrom(s, func(t Transition) {
-				sum += t.Rate * h[t.Dst]
-			})
-			next := (1 + sum) / c.exitRate[s]
-			if d := math.Abs(next - h[s]); d > maxDelta {
-				maxDelta = d
-			}
-			h[s] = next
+		if opts.parallel() {
+			residual = sparse.HittingSweepJacobi(mat, isTarget, b, c.exitRate, h, next, opts.Workers)
+			h, next = next, h
+		} else {
+			residual = sparse.HittingSweepGS(mat, isTarget, b, c.exitRate, h)
 		}
 		if iter%progressEvery == 0 {
-			opts.Progress.Report(engine.Progress{Stage: "fpt", States: n, Round: iter, Residual: maxDelta})
+			opts.Progress.Report(engine.Progress{Stage: "fpt", States: n, Round: iter, Residual: residual})
 		}
-		if maxDelta < opts.Tolerance {
+		if residual < opts.Tolerance {
 			return h, nil
 		}
 	}
-	return nil, &ConvergenceError{opts.MaxIterations, math.NaN()}
+	return nil, &ConvergenceError{opts.MaxIterations, residual}
 }

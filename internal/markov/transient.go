@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"multival/internal/engine"
+	"multival/internal/sparse"
 )
 
 // Transient computes the state distribution at time t, starting from the
@@ -44,6 +45,16 @@ func (c *CTMC) Transient(t float64, opts SolveOptions) ([]float64, error) {
 	cur := pi
 	next := make([]float64, n)
 	maxK := k0 + len(weights) - 1
+	// The vector-matrix product reads the frozen CSR views: the scatter
+	// AddApplyT sequentially, or — when opts.Workers selects parallelism
+	// — the transposed per-row gather AddApply, which shards rows of the
+	// output across workers without write races. The transpose is only
+	// built on the parallel path.
+	mat := c.matrix()
+	var tin *sparse.Matrix
+	if opts.parallel() {
+		tin = c.incoming()
+	}
 	for k := 0; k <= maxK; k++ {
 		if k%progressEvery == 0 {
 			if err := opts.canceled("transient", k); err != nil {
@@ -65,7 +76,11 @@ func (c *CTMC) Transient(t float64, opts SolveOptions) ([]float64, error) {
 		for i := range next {
 			next[i] = cur[i] * (1 - c.exitRate[i]/lambda)
 		}
-		c.matrix().AddApplyT(cur, next, 1/lambda)
+		if tin != nil {
+			tin.AddApply(cur, next, 1/lambda, opts.Workers)
+		} else {
+			mat.AddApplyT(cur, next, 1/lambda)
+		}
 		cur, next = next, cur
 	}
 	// Normalize the truncation error.

@@ -6,6 +6,12 @@
 // storage; now a rate matrix is built once from triplets and read by every
 // solver, and graph analyses (bottom strongly connected components) live
 // next to the storage they scan.
+//
+// kernels.go adds the flat sweep kernels of the iterative solvers:
+// per-BSCC submatrix compaction, Gauss–Seidel and parallel damped-Jacobi
+// sweeps for the stationary and hitting equations, and the row-sharded
+// matrix-vector product behind parallel uniformization. The solvers in
+// internal/markov drive the iteration; the kernels own the inner loops.
 package sparse
 
 import (

@@ -5,6 +5,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"multival/internal/imc"
+	"multival/internal/lts"
 )
 
 const bufferSpec = `
@@ -177,5 +180,45 @@ func TestErlangHelper(t *testing.T) {
 	}
 	if _, err := FixedDelay(-1, 2); err == nil {
 		t.Fatal("bad delay accepted")
+	}
+}
+
+func TestThroughputBoundsFacade(t *testing.T) {
+	// The E7 fast/slow server: a request arrives, a tau choice picks the
+	// fast (rate 4) or slow (rate 0.5) path, and "served" completes.
+	nd := imc.New("nd-server")
+	idle := nd.AddState()
+	choice := nd.AddState()
+	fast := nd.AddState()
+	slow := nd.AddState()
+	fdone := nd.AddState()
+	sdone := nd.AddState()
+	nd.MustAddRate(idle, choice, 1)
+	nd.AddInteractive(choice, lts.Tau, fast)
+	nd.AddInteractive(choice, lts.Tau, slow)
+	nd.MustAddRate(fast, fdone, 4)
+	nd.MustAddRate(slow, sdone, 0.5)
+	nd.AddInteractive(fdone, "served", idle)
+	nd.AddInteractive(sdone, "served", idle)
+	nd.Inter.SetInitial(idle)
+
+	for _, workers := range []int{0, 4} {
+		p := newPerfModel(nd, NewEngine(WithWorkers(workers)))
+		lo, hi, err := p.ThroughputBounds(context.Background(), "served")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLo, wantHi, err := nd.ThroughputBoundsEnum("served", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lo-wantLo) > 1e-8 || math.Abs(hi-wantHi) > 1e-8 {
+			t.Fatalf("workers=%d: bounds [%g, %g], enumeration [%g, %g]", workers, lo, hi, wantLo, wantHi)
+		}
+		// Cached second query must agree.
+		lo2, hi2, err := p.ThroughputBounds(context.Background(), "served")
+		if err != nil || lo2 != lo || hi2 != hi {
+			t.Fatalf("cached bounds [%g, %g] (err %v), want [%g, %g]", lo2, hi2, err, lo, hi)
+		}
 	}
 }

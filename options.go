@@ -32,8 +32,11 @@ type ProgressFunc = engine.ProgressFunc
 // threaded from here through bisim, compose, imc, process and markov.
 // Build one with NewEngine and the With* functional options.
 type Options struct {
-	// Workers is the goroutine count of the parallel refinement engine
-	// (0 = GOMAXPROCS).
+	// Workers is the goroutine count of the parallel engines: the
+	// signature-refinement rounds (0 = GOMAXPROCS) and, when above 1,
+	// the numerical solvers' parallel Jacobi sweeps and uniformization
+	// products (0 or 1 keeps the sequential Gauss–Seidel kernels, which
+	// need fewer sweeps on one core).
 	Workers int
 	// MaxStates bounds every state-space generation (DSL exploration,
 	// synchronized products, delay decoration). 0 selects the package
@@ -55,7 +58,9 @@ type Options struct {
 // Option mutates Options; pass them to NewEngine.
 type Option func(*Options)
 
-// WithWorkers sets the refinement worker count (0 = GOMAXPROCS).
+// WithWorkers sets the worker count of the refinement engine (0 =
+// GOMAXPROCS) and, when n > 1, switches the numerical solvers to their
+// parallel Jacobi kernels with n goroutines.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithMaxStates bounds state-space generation; exceeding it yields an
@@ -91,6 +96,7 @@ func (o Options) solve() markov.SolveOptions {
 	return markov.SolveOptions{
 		Tolerance:     o.Tolerance,
 		MaxIterations: o.MaxIterations,
+		Workers:       o.Workers,
 		Progress:      o.Progress,
 	}
 }

@@ -27,10 +27,11 @@ type PerfModel struct {
 
 	eng *Engine
 
-	mu   sync.Mutex
-	mp   *imc.IMC           // cached maximal-progress form
-	base *imc.CTMCResult    // cached CTMC extraction of mp
-	fpt  map[string]float64 // cached MeanTimeTo results per label
+	mu     sync.Mutex
+	mp     *imc.IMC              // cached maximal-progress form
+	base   *imc.CTMCResult       // cached CTMC extraction of mp
+	fpt    map[string]float64    // cached MeanTimeTo results per label
+	bounds map[string][2]float64 // cached ThroughputBounds per label
 
 	// Artifact counters, read by Artifacts without taking mu so
 	// progress callbacks may observe them mid-operation.
@@ -54,7 +55,12 @@ type ArtifactStats struct {
 }
 
 func newPerfModel(im *imc.IMC, eng *Engine) *PerfModel {
-	return &PerfModel{M: im, eng: eng.or(), fpt: map[string]float64{}}
+	return &PerfModel{
+		M:      im,
+		eng:    eng.or(),
+		fpt:    map[string]float64{},
+		bounds: map[string][2]float64{},
+	}
 }
 
 // engine returns the model's engine, falling back to the default.
@@ -242,4 +248,28 @@ func (p *PerfModel) MeanTimeTo(ctx context.Context, label string) (float64, erro
 	p.nRedirected.Add(1)
 	p.fpt[label] = total
 	return total, nil
+}
+
+// ThroughputBounds bounds the steady-state occurrence rate of the label
+// over all memoryless deterministic resolutions of the model's internal
+// nondeterminism, by average-reward policy iteration on the cached
+// maximal-progress IMC (no scheduler option is needed — every
+// deterministic resolution is explored). On a model without
+// nondeterminism both bounds coincide with the single scheduler's
+// throughput. The result is cached per label. ctx is observed at solver
+// round boundaries.
+func (p *PerfModel) ThroughputBounds(ctx context.Context, label string) (lo, hi float64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.bounds[label]; ok {
+		return b[0], b[1], nil
+	}
+	solve := p.engine().opts.solve()
+	solve.Ctx = ctx
+	lo, hi, err = p.maximalProgress().ThroughputBounds(label, solve)
+	if err != nil {
+		return 0, 0, err
+	}
+	p.bounds[label] = [2]float64{lo, hi}
+	return lo, hi, nil
 }

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Solver benchmark trajectory: run the PR 3 solver benchmarks (CSR sweep
+# kernels, parallel Jacobi, policy-iteration bounds) with a
+# benchstat-friendly repeat count, keep the raw `go test` output for
+# `benchstat old.txt new.txt` comparisons, and write a compact
+# BENCH_PR3.json summary so future PRs have a perf trajectory to diff
+# against. Run via `make bench-solver`; tune with COUNT/BENCH/OUT_*.
+set -eu
+
+COUNT="${COUNT:-6}"
+BENCH="${BENCH:-SteadyStateLargeChain|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy}"
+OUT_TXT="${OUT_TXT:-BENCH_PR3.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR3.json}"
+
+echo "bench: running [$BENCH] x$COUNT"
+go test -run XXX -bench "$BENCH" -benchtime 1x -count "$COUNT" . | tee "$OUT_TXT"
+
+awk -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++k] = name }
+    sum[name] += $3; cnt[name]++
+    if (!(name in mn) || $3 < mn[name]) mn[name] = $3
+}
+END {
+    printf "{\n  \"count\": %d,\n  \"benchmarks\": [\n", count
+    for (i = 1; i <= k; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"runs\": %d, \"mean_ns_per_op\": %.0f, \"min_ns_per_op\": %.0f}%s\n", \
+            name, cnt[name], sum[name] / cnt[name], mn[name], (i < k) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}
+' "$OUT_TXT" > "$OUT_JSON"
+
+echo "bench: wrote $OUT_TXT (benchstat) and $OUT_JSON (summary)"

@@ -30,9 +30,10 @@ echo "smoke: compare"
 echo "smoke: evaluate"
 "$tmp/bin/evaluate" -deadlock "$tmp/buf.min.aut" | grep -q TRUE
 
-echo "smoke: solve (steady + transient)"
+echo "smoke: solve (steady + transient + bounds)"
 "$tmp/bin/solve" -rate put=1 -rate get=2 -marker get "$tmp/buf.min.aut" | grep -q "throughputs:"
 "$tmp/bin/solve" -rate put=1 -rate get=2 -marker get -at 0.5 "$tmp/buf.min.aut" | grep -q "t=0.5"
+"$tmp/bin/solve" -rate put=1 -rate get=2 -marker get -bounds get "$tmp/buf.min.aut" | grep -q "throughput bounds"
 
 echo "smoke: experiments (E3)"
 "$tmp/bin/experiments" -timeout 2m E3 | grep -q "E3"
