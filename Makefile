@@ -12,10 +12,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled tests of the concurrent layers: the parallel refinement
-# engine, the pipeline package (root), the CSR sweep kernels and the
-# solvers sharding them across workers.
+# engine, the pipeline package (root), the CSR sweep kernels, the
+# solvers sharding them across workers, and the serving layer (queue
+# workers + singleflight cache).
 race:
-	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve
 
 # One tiny pipeline through every CLI binary; flag regressions fail here.
 smoke:
@@ -30,10 +31,11 @@ bench:
 bench-engine:
 	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
 
-# The solver trajectory: 100k-state steady state (CSR kernel vs the
-# closure reference vs parallel Jacobi), multi-BSCC absorption, parallel
-# uniformization and policy-iteration throughput bounds, repeated for
-# benchstat and summarized into BENCH_PR3.json.
+# The solver + serving trajectory: 100k-state steady state (CSR kernel
+# vs the closure reference vs parallel Jacobi), multi-BSCC absorption,
+# parallel uniformization, policy-iteration throughput bounds, and the
+# server's cold-solve vs cache-hit request latency, repeated for
+# benchstat and summarized into BENCH_PR4.json.
 bench-solver:
 	./scripts/bench.sh
 

@@ -9,6 +9,7 @@ package multival
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -209,5 +210,78 @@ func TestCLICompareDetectsDifference(t *testing.T) {
 	out := runTool(t, false, "compare", "-rel", "trace", a, b)
 	if !strings.Contains(out, "FALSE") || !strings.Contains(out, "distinguishing trace") {
 		t.Fatalf("compare output: %q", out)
+	}
+}
+
+// TestCLISolveJSON: -json replaces the text report with the serve wire
+// format (one schema across CLI and HTTP).
+func TestCLISolveJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	aut := filepath.Join(dir, "m.aut")
+	if err := os.WriteFile(aut, []byte(goldenBufAut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, true, "solve", "-rate", "put=1", "-rate", "get=2", "-marker", "get", "-json", aut)
+	var res struct {
+		Kind          string             `json:"kind"`
+		CTMCStates    int                `json:"ctmc_states"`
+		IMCStates     int                `json:"imc_states"`
+		Throughputs   map[string]float64 `json:"throughputs"`
+		Probabilities []struct {
+			P float64 `json:"p"`
+		} `json:"probabilities"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("solve -json output is not JSON: %v\n%s", err, out)
+	}
+	if res.Kind != "steady" || res.CTMCStates == 0 || res.IMCStates == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	total := 0.0
+	for _, sp := range res.Probabilities {
+		total += sp.P
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("probabilities sum to %v:\n%s", total, out)
+	}
+	if len(res.Throughputs) == 0 {
+		t.Fatalf("no throughputs:\n%s", out)
+	}
+	// The transient variant records the query time.
+	out = runTool(t, true, "solve", "-rate", "put=1", "-rate", "get=2", "-marker", "get", "-at", "0.5", "-json", aut)
+	if !strings.Contains(out, `"kind": "transient"`) || !strings.Contains(out, `"at": 0.5`) {
+		t.Fatalf("transient -json output: %s", out)
+	}
+}
+
+// TestCLIEvaluateJSON: the verdict as wire JSON, exit codes unchanged.
+func TestCLIEvaluateJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	aut := filepath.Join(dir, "m.aut")
+	if err := os.WriteFile(aut, []byte(goldenBufAut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, true, "evaluate", "-deadlock", "-json", aut)
+	var res struct {
+		Holds     bool   `json:"holds"`
+		Formula   string `json:"formula"`
+		NumStates int    `json:"num_states"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("evaluate -json output is not JSON: %v\n%s", err, out)
+	}
+	if !res.Holds || res.NumStates != 3 || res.Formula == "" {
+		t.Fatalf("verdict = %+v", res)
+	}
+	// A failed property still exits 1, with holds=false in the body.
+	out = runTool(t, false, "evaluate", "-reachable", "nonexistent", "-json", aut)
+	if !strings.Contains(out, `"holds": false`) {
+		t.Fatalf("failing evaluate -json output: %s", out)
 	}
 }

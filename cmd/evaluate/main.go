@@ -25,10 +25,11 @@ func main() {
 		formula   = flag.String("f", "", "mu-calculus formula")
 		deadlock  = flag.Bool("deadlock", false, "check deadlock freedom")
 		reachable = flag.String("reachable", "", "check that a transition with this exact label is reachable")
+		jsonOut   = flag.Bool("json", false, "emit the verdict as JSON in the serve wire format")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		c.Usage("evaluate (-f FORMULA | -deadlock | -reachable LABEL) model.aut")
+		c.Usage("evaluate (-f FORMULA | -deadlock | -reachable LABEL) [-json] model.aut")
 	}
 	var f mcl.Formula
 	switch {
@@ -59,6 +60,22 @@ func main() {
 	})
 	if err != nil {
 		c.Fatal(2, err)
+	}
+	if *jsonOut {
+		wire := cli.CheckResult{
+			Holds:     res.Holds,
+			Formula:   res.Formula,
+			SatCount:  res.SatCount,
+			NumStates: res.NumStates,
+			Witness:   res.Witness,
+		}
+		if err := cli.WriteJSON(os.Stdout, wire); err != nil {
+			c.Fatal(2, err)
+		}
+		if !res.Holds {
+			os.Exit(1)
+		}
+		return
 	}
 	verdict := "FALSE"
 	if res.Holds {

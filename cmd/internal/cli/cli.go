@@ -185,20 +185,7 @@ func StoreLTS(path string, l *lts.LTS) error {
 
 // ParseRelation maps the conventional flag spelling of an equivalence to
 // its Relation.
-func ParseRelation(s string) (multival.Relation, error) {
-	switch s {
-	case "strong":
-		return multival.Strong, nil
-	case "branching":
-		return multival.Branching, nil
-	case "divbranching":
-		return multival.DivBranching, nil
-	case "trace":
-		return multival.Trace, nil
-	default:
-		return 0, fmt.Errorf("unknown relation %q (want strong | branching | divbranching | trace)", s)
-	}
-}
+func ParseRelation(s string) (multival.Relation, error) { return multival.ParseRelation(s) }
 
 // Gates splits a comma-separated gate set, trimming blanks; an empty
 // string yields nil.

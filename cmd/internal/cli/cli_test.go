@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -105,5 +106,44 @@ func TestProgressPrinterThrottles(t *testing.T) {
 	}
 	if n := strings.Count(sb.String(), "\n"); n != 1 {
 		t.Fatalf("printed %d lines in a burst, want 1 (throttled)", n)
+	}
+}
+
+// TestWriteJSONWireFormat: the CLI helper emits exactly the serve wire
+// shape — indented JSON, wire field names, probabilities filtered at the
+// text-output threshold.
+func TestWriteJSONWireFormat(t *testing.T) {
+	ms := &multival.Measures{
+		Pi:          []float64{0.25, 0.75, 1e-15},
+		Throughputs: map[string]float64{"get !0": 0.5},
+		CTMCStates:  3,
+		StateOf:     []int{4, 5, 6},
+	}
+	res := ResultFromMeasures(ms, "transient", 0.5, true)
+	var b strings.Builder
+	if err := WriteJSON(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`"kind": "transient"`,
+		`"at": 0.5`,
+		`"ctmc_states": 3`,
+		`"imc_state": 5`,
+		`"get !0": 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %s:\n%s", want, out)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal([]byte(out), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Probabilities) != 2 {
+		t.Fatalf("probabilities = %v; want the two states above threshold", back.Probabilities)
+	}
+	if back.Probabilities[1].State != 1 || back.Probabilities[1].P != 0.75 {
+		t.Fatalf("probabilities[1] = %+v", back.Probabilities[1])
 	}
 }

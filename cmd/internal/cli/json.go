@@ -1,0 +1,31 @@
+package cli
+
+import (
+	"io"
+
+	"multival"
+	"multival/internal/serve"
+)
+
+// The -json mode of the tools emits exactly the wire format of the HTTP
+// service (internal/serve): one result schema whether a measure was
+// computed locally or requested over the wire, so clients and scripts
+// parse one shape. The types are re-exported here so the tools never
+// import the serve package directly.
+
+// Result is the wire form of a solved measure set.
+type Result = serve.Result
+
+// CheckResult is the wire form of a model-checking verdict.
+type CheckResult = serve.CheckResult
+
+// ResultFromMeasures converts Measures into the wire Result; kind is
+// "steady" or "transient" (with at recorded for the latter), includePi
+// adds the per-state distribution.
+func ResultFromMeasures(ms *multival.Measures, kind string, at float64, includePi bool) *Result {
+	return serve.ResultFromMeasures(ms, kind, at, includePi)
+}
+
+// WriteJSON writes v in the shared wire encoding (indented JSON, one
+// trailing newline).
+func WriteJSON(w io.Writer, v any) error { return serve.EncodeJSON(w, v) }

@@ -1,0 +1,87 @@
+// Command serve runs the long-lived analysis service: an HTTP/JSON front
+// end over one shared engine that executes pipeline requests
+// (compose/hide/minimize/decorate/lump/solve) through a bounded worker
+// queue with per-request deadlines, streams progress as server-sent
+// events, and shares expensive artifacts — parsed models, lumped
+// performance models with their extracted CTMCs, solved measures —
+// across requests through a content-addressed cache keyed by model
+// digests.
+//
+// Usage:
+//
+//	serve -addr 127.0.0.1:8080 [-queue-workers N] [-queue-depth N]
+//	      [-cache-entries N] [-deadline D] [-max-deadline D]
+//	      [-workers N] [-max-states N] [-progress]
+//
+// The actual listen address (useful with -addr :0) is printed on stderr
+// as "serve: listening on http://ADDR". See internal/serve for the HTTP
+// API and README.md ("Serving") for a walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multival/cmd/internal/cli"
+	"multival/internal/serve"
+)
+
+func main() {
+	c := cli.New("serve")
+	c.MaxStatesFlag(1 << 20)
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		queueWorkers = flag.Int("queue-workers", 2, "concurrent request executions")
+		queueDepth   = flag.Int("queue-depth", 64, "queued-request bound; beyond it requests get 429")
+		cacheEntries = flag.Int("cache-entries", 256, "derived-artifact cache capacity (perf models + measures)")
+		modelEntries = flag.Int("model-entries", 64, "uploaded-model store capacity (separate from the artifact cache)")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "default per-request deadline (0 = none)")
+		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "cap on client-chosen deadline_ms (0 = no cap)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		c.Usage("serve -addr HOST:PORT [-queue-workers N] [-queue-depth N] [-cache-entries N] [-deadline D] [-max-deadline D] [-workers N] [-max-states N] [-progress]")
+	}
+
+	srv := serve.New(serve.Config{
+		Engine:          c.Engine(),
+		QueueWorkers:    *queueWorkers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		ModelEntries:    *modelEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		c.Fatal(2, err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		c.Fatal(1, err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			c.Fatal(1, err)
+		}
+	}
+}

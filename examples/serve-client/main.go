@@ -1,0 +1,161 @@
+// serve-client: a minimal client of the multival analysis service
+// (cmd/serve), demonstrating the content-addressed request flow every
+// query-heavy workload should use — upload the model once, then issue
+// solve requests against its digest so repeated queries are answered
+// from the server's artifact cache.
+//
+//	go run ./cmd/serve -addr 127.0.0.1:8080 &
+//	go run ./examples/serve-client -addr http://127.0.0.1:8080 \
+//	    -model buf.aut -rate put=1 -rate get=2 -marker get
+//
+// The client deliberately speaks plain net/http + encoding/json: the
+// whole protocol is three POSTs and a GET.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// rateFlags accumulates repeatable -rate gate=RATE pairs.
+type rateFlags map[string]float64
+
+func (r rateFlags) String() string { return fmt.Sprint(map[string]float64(r)) }
+
+func (r rateFlags) Set(v string) error {
+	gate, rateStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("bad rate %q (want gate=rate)", v)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil {
+		return err
+	}
+	r[strings.TrimSpace(gate)] = rate
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve-client: ")
+	rates := rateFlags{}
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+		model   = flag.String("model", "", "model file (.aut) to upload and solve")
+		markers = flag.String("marker", "", "comma-separated gates whose throughput to report")
+		at      = flag.Float64("at", -1, "transient query time (default: steady state)")
+		probs   = flag.Bool("probabilities", false, "include the state distribution in the result")
+		stats   = flag.Bool("stats", false, "print /v1/stats after solving (or alone, without -model)")
+		wait    = flag.Duration("wait", 5*time.Second, "retry /healthz for this long before giving up")
+	)
+	flag.Var(rates, "rate", "gate=rate (repeatable)")
+	flag.Parse()
+
+	waitHealthy(*addr, *wait)
+
+	if *model != "" {
+		text, err := os.ReadFile(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 1. Upload: the server answers with the model's content digest.
+		var info struct {
+			Hash        string `json:"hash"`
+			States      int    `json:"states"`
+			Transitions int    `json:"transitions"`
+		}
+		postJSON(*addr+"/v1/models", "text/plain", text, &info)
+		log.Printf("model %s: %d states, %d transitions", info.Hash[:12], info.States, info.Transitions)
+
+		// 2. Solve by digest: identical requests are cache hits.
+		req := map[string]any{
+			"model_hash":            info.Hash,
+			"rates":                 map[string]float64(rates),
+			"include_probabilities": *probs,
+		}
+		if *markers != "" {
+			req["markers"] = strings.Split(*markers, ",")
+		}
+		if *at >= 0 {
+			req["at"] = *at
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var result json.RawMessage
+		postJSON(*addr+"/v1/solve", "application/json", body, &result)
+		os.Stdout.Write(append(pretty(result), '\n'))
+	}
+
+	if *stats {
+		resp, err := http.Get(*addr + "/v1/stats")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(body)
+	}
+}
+
+// waitHealthy polls /healthz until the server answers (it may still be
+// binding its listener when started alongside the client).
+func waitHealthy(addr string, wait time.Duration) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("server at %s not healthy after %v: %v", addr, wait, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// postJSON posts body and decodes the JSON response into out, treating
+// structured error bodies as fatal.
+func postJSON(url, contentType string, body []byte, out any) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %s\n%s", url, resp.Status, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("%s: bad response: %v\n%s", url, err, data)
+	}
+}
+
+// pretty re-indents a raw JSON message for terminal output.
+func pretty(raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}

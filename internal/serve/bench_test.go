@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"multival/internal/aut"
+	"multival/internal/lts"
+)
+
+// benchChainAut memoizes the 100k-state benchmark chain (the serving
+// twin of the root BenchmarkSteadyStateLargeChain): a ring with random
+// hops, solved without lumping so the cold path is solver-dominated.
+var benchChainAut = sync.OnceValue(func() string {
+	const n = 100_000
+	rng := rand.New(rand.NewSource(5))
+	l := lts.New("bench-chain")
+	l.AddStates(n)
+	for i := 0; i < n; i++ {
+		l.AddTransition(lts.State(i), "go", lts.State((i+1)%n))
+		for e := 0; e < 2; e++ {
+			if j := rng.Intn(n); j != i {
+				l.AddTransition(lts.State(i), "hop", lts.State(j))
+			}
+		}
+	}
+	return aut.WriteString(l)
+})
+
+// benchUpload posts the chain and returns its content digest.
+func benchUpload(b *testing.B, url string) string {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/models", "text/plain", strings.NewReader(benchChainAut()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		b.Fatal(err)
+	}
+	return info.Hash
+}
+
+// benchSolve posts one solve request and fails on anything but 200.
+func benchSolve(b *testing.B, url, hash string) {
+	b.Helper()
+	lump := false
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, SolveRequest{
+		ModelHash: hash,
+		Rates:     map[string]float64{"go": 1, "hop": 0.5},
+		Markers:   []string{"go"},
+		Lump:      &lump,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		b.Fatalf("solve: %d %s (%v)", resp.StatusCode, body, err)
+	}
+}
+
+// BenchmarkServeSolveCold measures the full request latency of a
+// first-time solve of the 100k-state chain: every iteration runs against
+// a fresh server, so nothing is shared.
+func BenchmarkServeSolveCold(b *testing.B) {
+	benchChainAut() // generate the model text outside the measured region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{QueueWorkers: 1, QueueDepth: 4})
+		ts := httptest.NewServer(s)
+		hash := benchUpload(b, ts.URL)
+		b.StartTimer()
+		benchSolve(b, ts.URL, hash)
+		b.StopTimer()
+		ts.Close()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServeSolveCacheHit measures the same request against a warm
+// server: the measures come straight out of the content-addressed cache.
+// The ratio to BenchmarkServeSolveCold is the serving win on query-heavy
+// model-light workloads.
+func BenchmarkServeSolveCacheHit(b *testing.B) {
+	s := New(Config{QueueWorkers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	hash := benchUpload(b, ts.URL)
+	benchSolve(b, ts.URL, hash) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolve(b, ts.URL, hash)
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Cache is a content-addressed artifact cache: a bounded LRU keyed by
+// canonical digests (model hashes, request-spec hashes) holding the
+// expensive artifacts of the analysis flow — parsed models, performance
+// models with their extracted CTMCs, solved measure sets — with
+// singleflight deduplication: concurrent Do calls for the same key share
+// one computation instead of racing to build the artifact N times.
+//
+// Values are stored as produced; callers type-assert on retrieval. Errors
+// are never cached: a failed or cancelled build is forgotten so the next
+// request retries. A Cache is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   *list.List // MRU at front; only completed entries are listed
+
+	hits, misses, shared, evictions int64
+}
+
+// cacheEntry is one keyed slot. Until ready is closed the entry is in
+// flight: val/err are unset and elem is nil (in-flight entries are not
+// eviction candidates — a waiter holds them anyway).
+type cacheEntry struct {
+	key   string
+	val   any
+	err   error
+	ready chan struct{}
+	elem  *list.Element
+}
+
+// NewCache returns a cache bounded to capacity completed entries
+// (capacity < 1 selects 64).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		order:   list.New(),
+	}
+}
+
+// CacheStats is a snapshot of the cache counters. Hits counts Do calls
+// answered from a completed entry, Misses counts calls that ran the build
+// function, Shared counts calls that joined an in-flight build (the
+// singleflight collapses), Evictions counts completed entries dropped by
+// the LRU bound.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+	}
+}
+
+// Do returns the artifact stored under key, building it with fn on a
+// miss. Concurrent calls for the same key run fn once and share its
+// result; joiners block until the build completes or their own ctx is
+// done. A build runs under its initiator's context (threaded through
+// fn), and its failure — a deadline, a disconnect, a genuine error — is
+// returned only to that initiator: joiners do not inherit a stranger's
+// failure but retry the build under their own context. hit reports
+// whether the value came from the cache (completed or in-flight) rather
+// than this call's own fn execution.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (v any, hit bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			select {
+			case <-e.ready:
+				if e.err != nil {
+					// A failed build the initiator has not unpublished
+					// yet: unpublish it ourselves and retry as builder.
+					if c.entries[key] == e {
+						delete(c.entries, key)
+					}
+					c.mu.Unlock()
+					continue
+				}
+				c.hits++
+				if e.elem != nil {
+					// elem is nil in the instant between close(ready)
+					// and the initiator's PushFront; the value is final
+					// either way.
+					c.order.MoveToFront(e.elem)
+				}
+				c.mu.Unlock()
+				return e.val, true, nil
+			default:
+			}
+			// In flight: join it.
+			c.shared++
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err != nil {
+					continue // the initiator's failure is not ours; retry
+				}
+				return e.val, true, nil
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+		}
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+
+		e.val, e.err = fn()
+		close(e.ready)
+
+		c.mu.Lock()
+		if e.err != nil {
+			// Errors (including cancellations) are not cached; later
+			// requests retry.
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			return nil, false, e.err
+		}
+		e.elem = c.order.PushFront(e)
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			victim := oldest.Value.(*cacheEntry)
+			delete(c.entries, victim.key)
+			c.evictions++
+		}
+		c.mu.Unlock()
+		return e.val, false, nil
+	}
+}
+
+// Get returns the completed artifact stored under key without building.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.elem == nil {
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	c.hits++
+	return e.val, true
+}
+
+// Each calls fn for every completed entry, from most to least recently
+// used, while holding the cache lock: fn must be fast and must not call
+// back into the cache. Used to aggregate artifact counters for /v1/stats.
+func (c *Cache) Each(fn func(key string, v any)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		fn(e.key, e.val)
+	}
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := NewCache(2)
+	ctx := context.Background()
+	build := func(v any) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+
+	v, hit, err := c.Do(ctx, "a", build(1))
+	if err != nil || hit || v.(int) != 1 {
+		t.Fatalf("first Do(a) = %v, %v, %v; want 1, miss", v, hit, err)
+	}
+	v, hit, _ = c.Do(ctx, "a", func() (any, error) {
+		t.Error("Do(a) rebuilt a cached artifact")
+		return nil, nil
+	})
+	if !hit || v.(int) != 1 {
+		t.Fatalf("second Do(a) = %v, hit=%v; want cached 1", v, hit)
+	}
+
+	// Fill to capacity and overflow: the LRU victim is "a" (last touched
+	// before "b" and "c" were inserted).
+	c.Do(ctx, "b", build(2))
+	c.Do(ctx, "c", build(3))
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v; want 2 entries, 1 eviction", st)
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c evicted instead of the LRU victim")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted instead of the LRU victim")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived past capacity")
+	}
+
+	st = c.Stats()
+	if st.Hits != 3 || st.Misses != 3 { // Do-hit + 2 successful Gets count as hits
+		t.Fatalf("counters: %+v; want 3 hits, 3 misses", st)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do error = %v; want boom", err)
+	}
+	calls := 0
+	v, hit, err := c.Do(ctx, "k", func() (any, error) { calls++; return 7, nil })
+	if err != nil || hit || v.(int) != 7 || calls != 1 {
+		t.Fatalf("retry after error: v=%v hit=%v err=%v calls=%d; want fresh build", v, hit, err, calls)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d; want 1 (errors never stored)", st.Entries)
+	}
+}
+
+// TestCacheSingleflight: N concurrent Do calls for one key run the build
+// function exactly once and all read its value.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+	const n = 16
+	var builds atomic.Int64
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _, errs[i] = c.Do(ctx, "shared", func() (any, error) {
+				builds.Add(1)
+				<-gate // hold the build until every goroutine has had a chance to join
+				return "artifact", nil
+			})
+		}(i)
+	}
+	// Every non-builder goroutine must join the in-flight entry (the
+	// build is gated, so none can be answered from a completed entry);
+	// release the builder only once all have piled up behind it.
+	for c.Stats().Shared < n-1 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("build ran %d times; want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i].(string) != "artifact" {
+			t.Fatalf("caller %d: %v, %v", i, vals[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != n-1 {
+		t.Fatalf("counters %+v; want 1 miss and %d shared", st, n-1)
+	}
+}
+
+// TestCacheJoinerCancellation: a joiner whose context dies while the
+// build is in flight unblocks with the context error; the build itself
+// completes and is cached.
+func TestCacheJoinerCancellation(t *testing.T) {
+	c := NewCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			close(started)
+			<-gate
+			return 1, nil
+		})
+		done <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func() (any, error) {
+		t.Error("joiner ran the build")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner error = %v; want context.Canceled", err)
+	}
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("builder error = %v", err)
+	}
+	if v, ok := c.Get("k"); !ok || v.(int) != 1 {
+		t.Fatalf("artifact not cached after joiner cancellation: %v, %v", v, ok)
+	}
+}
+
+// TestCacheJoinerRetriesAfterBuilderFailure: when the initiating
+// request's build fails (its deadline expired, it disconnected), a
+// joiner with a live context does not inherit the failure — it retries
+// the build itself.
+func TestCacheJoinerRetriesAfterBuilderFailure(t *testing.T) {
+	c := NewCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	builderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			close(started)
+			<-gate
+			return nil, context.DeadlineExceeded // the initiator's deadline, not ours
+		})
+		builderDone <- err
+	}()
+	<-started
+
+	joined := make(chan struct{})
+	joinerDone := make(chan error, 1)
+	var joinerVal any
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func() (any, error) {
+			return "rebuilt", nil
+		})
+		joinerVal = v
+		joinerDone <- err
+	}()
+	go func() {
+		for c.Stats().Shared < 1 {
+		}
+		close(joined)
+	}()
+	<-joined
+	close(gate)
+
+	if err := <-builderDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("initiator error = %v; want its own DeadlineExceeded", err)
+	}
+	if err := <-joinerDone; err != nil || joinerVal.(string) != "rebuilt" {
+		t.Fatalf("joiner = %v, %v; want a fresh successful build", joinerVal, err)
+	}
+	if v, ok := c.Get("k"); !ok || v.(string) != "rebuilt" {
+		t.Fatalf("cache holds %v, %v; want the joiner's rebuild", v, ok)
+	}
+}
+
+// TestCacheConcurrentKeys hammers distinct keys under -race.
+func TestCacheConcurrentKeys(t *testing.T) {
+	c := NewCache(8)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%16)
+				v, _, err := c.Do(ctx, key, func() (any, error) { return key, nil })
+				if err != nil || v.(string) != key {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

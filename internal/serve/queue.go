@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports that the bounded request queue is at capacity;
+// the server maps it to HTTP 429 so clients back off instead of piling
+// unbounded work onto the engine.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// ErrQueueClosed reports a Submit after Close.
+var ErrQueueClosed = errors.New("serve: request queue closed")
+
+// Queue is a bounded worker pool: Submit enqueues a job without blocking
+// (rejecting with ErrQueueFull at capacity) and a fixed set of workers
+// drains it. Each job carries the request context; a job whose context is
+// already done when a worker picks it up is skipped without executing —
+// a client that disconnected or timed out while queued costs nothing.
+type Queue struct {
+	jobs chan queueJob
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	workers  int
+	executed int64
+	rejected int64
+	skipped  int64
+}
+
+type queueJob struct {
+	ctx context.Context
+	run func(context.Context)
+}
+
+// NewQueue starts workers goroutines draining a queue of the given
+// capacity (both floored to 1).
+func NewQueue(workers, capacity int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{jobs: make(chan queueJob, capacity), workers: workers}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for job := range q.jobs {
+		if job.ctx.Err() != nil {
+			q.mu.Lock()
+			q.skipped++
+			q.mu.Unlock()
+			continue
+		}
+		job.run(job.ctx)
+		q.mu.Lock()
+		q.executed++
+		q.mu.Unlock()
+	}
+}
+
+// Submit enqueues run to be called with ctx by a worker. It never blocks:
+// a full queue rejects with ErrQueueFull. run is not called when ctx is
+// done before a worker reaches the job; callers waiting on run's result
+// must therefore also select on ctx.
+func (q *Queue) Submit(ctx context.Context, run func(context.Context)) error {
+	// The send happens under mu so Close cannot close the channel
+	// between the closed check and the send (the send is non-blocking,
+	// so holding the lock is cheap).
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- queueJob{ctx: ctx, run: run}:
+		return nil
+	default:
+		q.rejected++
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting jobs and waits for the workers to drain the
+// queue (pending jobs with live contexts still execute).
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.jobs) // under mu: Submit sends under the same lock
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// QueueStats is a snapshot of the queue counters. Skipped counts jobs
+// whose context was done before a worker reached them (never executed).
+type QueueStats struct {
+	Workers  int   `json:"workers"`
+	Capacity int   `json:"capacity"`
+	Queued   int   `json:"queued"`
+	Executed int64 `json:"executed"`
+	Rejected int64 `json:"rejected"`
+	Skipped  int64 `json:"skipped"`
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Workers:  q.workers,
+		Capacity: cap(q.jobs),
+		Queued:   len(q.jobs),
+		Executed: q.executed,
+		Rejected: q.rejected,
+		Skipped:  q.skipped,
+	}
+}

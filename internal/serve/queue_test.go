@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueExecutes(t *testing.T) {
+	q := NewQueue(2, 4)
+	defer q.Close()
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		// The queue is smaller than the job count; retry rejected
+		// submissions like a backing-off client would.
+		for {
+			err := q.Submit(context.Background(), func(context.Context) { done <- i })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("Submit: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		seen[<-done] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("executed %d distinct jobs; want 8", len(seen))
+	}
+}
+
+func TestQueueRejectsWhenFull(t *testing.T) {
+	q := NewQueue(1, 1)
+	defer q.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the worker...
+	if err := q.Submit(context.Background(), func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the queue...
+	if err := q.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the next submission bounces.
+	err := q.Submit(context.Background(), func(context.Context) {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue = %v; want ErrQueueFull", err)
+	}
+	if st := q.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d; want 1", st.Rejected)
+	}
+	close(block)
+}
+
+// TestQueueSkipsCanceledBeforeStart: a request canceled while queued is
+// never executed.
+func TestQueueSkipsCanceledBeforeStart(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var ran atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := q.Submit(ctx, func(context.Context) { ran.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the job is queued behind the blocked worker; kill it there
+	close(block)
+	q.Close() // drains the queue
+
+	if ran.Load() {
+		t.Fatal("canceled queued job was executed")
+	}
+	st := q.Stats()
+	if st.Skipped != 1 || st.Executed != 1 {
+		t.Fatalf("stats %+v; want 1 skipped, 1 executed", st)
+	}
+}
+
+func TestQueueSubmitAfterClose(t *testing.T) {
+	q := NewQueue(1, 1)
+	q.Close()
+	if err := q.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close = %v; want ErrQueueClosed", err)
+	}
+}

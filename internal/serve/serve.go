@@ -1,0 +1,546 @@
+// Package serve is the long-lived analysis service over the multival
+// Engine: an HTTP/JSON front end that executes pipeline requests
+// (compose/hide/minimize/decorate/lump/solve, mirroring the root
+// Pipeline builder) through a bounded worker queue with per-request
+// deadlines and cancellation on client disconnect, on top of a
+// content-addressed artifact cache — models, performance models with
+// their extracted CTMCs, and solved measure sets are keyed by canonical
+// digests (lts.Frozen.Hash over CSR form, SHA-256 over request specs)
+// with singleflight deduplication, so N concurrent identical requests
+// share one computation and repeated query workloads against few
+// distinct models turn into O(1) lookups.
+//
+// Endpoints:
+//
+//	POST /v1/models  — upload a model (.aut text); returns its content
+//	                   digest for hash-addressed requests.
+//	POST /v1/solve   — run one pipeline request (SolveRequest JSON);
+//	                   with Accept: text/event-stream or ?stream=1 the
+//	                   response streams progress events before the
+//	                   result (SSE).
+//	GET  /v1/stats   — queue, cache and artifact counters.
+//	GET  /healthz    — liveness.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"multival"
+	"multival/internal/aut"
+)
+
+// Config sizes the service. The zero value is usable: a default engine,
+// one worker per core pair, a 64-entry cache, no deadlines.
+type Config struct {
+	// Engine is the shared base engine; per-request engines are derived
+	// from it with Engine.With (workers, scheduler, progress) so requests
+	// never mutate the shared options. Nil selects a default engine.
+	Engine *multival.Engine
+	// QueueWorkers is the number of request-executing workers (floored
+	// to 1); QueueDepth bounds the number of queued-but-not-running
+	// requests (floored to 1; beyond it requests are rejected with 429).
+	QueueWorkers int
+	QueueDepth   int
+	// CacheEntries bounds the derived-artifact cache (completed entries;
+	// < 1 selects 64). ModelEntries separately bounds the store of
+	// uploaded models (< 1 selects 64): models are the roots every other
+	// artifact derives from, so derived-artifact churn must not evict
+	// them out from under hash-addressed clients.
+	CacheEntries int
+	ModelEntries int
+	// DefaultDeadline bounds every request that does not set its own
+	// deadline_ms; zero means no default bound. MaxDeadline caps the
+	// per-request deadline_ms; zero means no cap.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+}
+
+// Server is the service state: one base engine, one bounded queue, one
+// content-addressed cache, and the HTTP mux over them. Create with New,
+// serve via ServeHTTP (it implements http.Handler), stop with Close.
+type Server struct {
+	cfg    Config
+	base   *multival.Engine
+	queue  *Queue
+	cache  *Cache // derived artifacts: perf models, measures
+	models *Cache // uploaded models, keyed by content digest
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// storedModel is the cache entry of an uploaded or inline model.
+type storedModel struct {
+	m    *multival.Model
+	hash string
+}
+
+// New builds a Server from the config and starts its queue workers.
+func New(cfg Config) *Server {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = multival.NewEngine()
+	}
+	s := &Server{
+		cfg:    cfg,
+		base:   eng,
+		queue:  NewQueue(cfg.QueueWorkers, cfg.QueueDepth),
+		cache:  NewCache(cfg.CacheEntries),
+		models: NewCache(cfg.ModelEntries),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting requests and waits for in-flight work to drain.
+func (s *Server) Close() { s.queue.Close() }
+
+// writeError writes the structured JSON error body for err.
+func writeError(w http.ResponseWriter, err error) {
+	code, status := ErrorCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = EncodeJSON(w, ErrorBody{Error: Error{Code: code, Message: err.Error()}})
+}
+
+// writeJSON writes v as the JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, v)
+}
+
+// maxModelBytes bounds uploaded model bodies (64 MiB: a few million
+// transitions of .aut text).
+const maxModelBytes = 64 << 20
+
+// ModelInfo is the response of POST /v1/models.
+type ModelInfo struct {
+	Hash        string `json:"hash"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+}
+
+// storeModel parses .aut text, hashes its frozen form and stores it
+// under its content address, so behaviourally identical uploads share
+// one entry.
+func (s *Server) storeModel(text string) (*storedModel, error) {
+	l, err := aut.ReadString(text)
+	if err != nil {
+		return nil, badRequestf("parsing model: %v", err)
+	}
+	m := s.base.FromLTS(l)
+	sm := &storedModel{m: m, hash: m.Hash()}
+	// The artifact is already built; Do only publishes it (and dedups
+	// against a concurrent identical upload).
+	_, _, err = s.models.Do(context.Background(), sm.hash, func() (any, error) {
+		return sm, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sm, nil
+}
+
+// lookupModel resolves a content digest to a stored model.
+func (s *Server) lookupModel(hash string) (*storedModel, error) {
+	v, ok := s.models.Get(hash)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", errUnknownModel, hash)
+	}
+	return v.(*storedModel), nil
+}
+
+// handleModels uploads one model per request body.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, badRequestf("use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	if err != nil {
+		writeError(w, badRequestf("reading body: %v", err))
+		return
+	}
+	sm, err := s.storeModel(string(body))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, ModelInfo{Hash: sm.hash, States: sm.m.States(), Transitions: sm.m.Transitions()})
+}
+
+// resolveModels materializes the request's composition operands and
+// their content digests, enforcing that exactly one of the four model
+// fields is used.
+func (s *Server) resolveModels(req *SolveRequest) ([]*multival.Model, []string, error) {
+	ways := 0
+	for _, set := range []bool{req.Model != "", req.ModelHash != "", len(req.Models) > 0, len(req.ModelHashes) > 0} {
+		if set {
+			ways++
+		}
+	}
+	if ways != 1 {
+		return nil, nil, badRequestf("set exactly one of model, model_hash, models, model_hashes")
+	}
+	var texts, hashes []string
+	switch {
+	case req.Model != "":
+		texts = []string{req.Model}
+	case len(req.Models) > 0:
+		texts = req.Models
+	case req.ModelHash != "":
+		hashes = []string{req.ModelHash}
+	default:
+		hashes = req.ModelHashes
+	}
+	var models []*multival.Model
+	var out []string
+	for _, text := range texts {
+		sm, err := s.storeModel(text)
+		if err != nil {
+			return nil, nil, err
+		}
+		models = append(models, sm.m)
+		out = append(out, sm.hash)
+	}
+	for _, h := range hashes {
+		sm, err := s.lookupModel(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		models = append(models, sm.m)
+		out = append(out, sm.hash)
+	}
+	return models, out, nil
+}
+
+// perfSpec is the canonical identity of a performance model: the model
+// digests plus every pipeline step that shapes the decorated chain.
+// Requests with equal perfSpecs share one cached PerfModel — and with it
+// one maximal-progress pass and one CTMC extraction.
+type perfSpec struct {
+	ModelHashes []string           `json:"m"`
+	Sync        []string           `json:"sync,omitempty"`
+	Hide        []string           `json:"hide,omitempty"`
+	Minimize    string             `json:"min,omitempty"`
+	Rates       map[string]float64 `json:"rates"`
+	Markers     []string           `json:"markers,omitempty"`
+	Lump        bool               `json:"lump"`
+	Uniform     bool               `json:"uniform,omitempty"`
+}
+
+// measureSpec is the canonical identity of one solved measure set over a
+// performance model.
+type measureSpec struct {
+	Perf string  `json:"perf"`
+	Kind string  `json:"kind"`
+	At   float64 `json:"at,omitempty"`
+}
+
+// solveOutcome carries the result of a queued execution back to the
+// handler goroutine.
+type solveOutcome struct {
+	res *Result
+	err error
+}
+
+// requestDeadline derives the request context: the client-disconnect
+// context bounded by deadline_ms (capped by MaxDeadline) or the server
+// default.
+func (s *Server) requestDeadline(r *http.Request, req *SolveRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		d = time.Duration(req.DeadlineMS) * time.Millisecond
+		if s.cfg.MaxDeadline > 0 && d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	if d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// handleSolve executes one pipeline request through the queue.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, badRequestf("use POST"))
+		return
+	}
+	req, err := decodeSolveRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	ctx, cancel := s.requestDeadline(r, req)
+	defer cancel()
+
+	// The progress relay decouples the engine hook from the response
+	// stream: sends never block (buffered, drop-on-full), so a hook
+	// captured inside a cached artifact stays harmless after this
+	// request is gone.
+	relay := make(chan multival.Progress, 32)
+	hook := func(p multival.Progress) {
+		select {
+		case relay <- p:
+		default:
+		}
+	}
+	streaming := wantsStream(r)
+
+	resCh := make(chan solveOutcome, 1)
+	submitErr := s.queue.Submit(ctx, func(ctx context.Context) {
+		res, err := s.execute(ctx, req, hook)
+		resCh <- solveOutcome{res: res, err: err}
+	})
+	if submitErr != nil {
+		writeError(w, submitErr)
+		return
+	}
+
+	if streaming {
+		s.streamSolve(ctx, w, relay, resCh)
+		return
+	}
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			writeError(w, out.err)
+			return
+		}
+		writeJSON(w, out.res)
+	case <-ctx.Done():
+		// Deadline hit while queued or mid-computation: the job either
+		// never runs (the queue skips done contexts) or aborts at its
+		// next round boundary. Either way the client gets the
+		// structured deadline error now.
+		writeError(w, ctx.Err())
+	}
+}
+
+// decodeSolveRequest parses and sanity-checks the request body.
+func decodeSolveRequest(r *http.Request) (*SolveRequest, error) {
+	var req SolveRequest
+	body := http.MaxBytesReader(nil, r.Body, maxModelBytes)
+	if err := DecodeJSON(body, &req); err != nil {
+		return nil, badRequestf("decoding request: %v", err)
+	}
+	if len(req.Rates) == 0 {
+		return nil, badRequestf("rates must name at least one gate=rate pair")
+	}
+	if req.Minimize != "" {
+		if _, err := multival.ParseRelation(req.Minimize); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+	}
+	if req.At != nil && *req.At < 0 {
+		return nil, badRequestf("at must be >= 0")
+	}
+	return &req, nil
+}
+
+// wantsStream reports whether the client asked for SSE progress. The
+// Accept header is matched by media type, not whole-string equality:
+// EventSource clients commonly send lists ("text/event-stream,
+// application/json") or parameters.
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// streamSolve writes the SSE response: progress events while the job
+// runs, then one result or error event.
+func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, relay <-chan multival.Progress, resCh <-chan solveOutcome) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(event string, v any) {
+		fmt.Fprintf(w, "event: %s\ndata: ", event)
+		_ = EncodeJSONCompact(w, v)
+		fmt.Fprint(w, "\n\n")
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for {
+		select {
+		case p := <-relay:
+			emit("progress", p)
+		case out := <-resCh:
+			if out.err != nil {
+				code, _ := ErrorCode(out.err)
+				emit("error", ErrorBody{Error: Error{Code: code, Message: out.err.Error()}})
+				return
+			}
+			emit("result", out.res)
+			return
+		case <-ctx.Done():
+			code, _ := ErrorCode(ctx.Err())
+			emit("error", ErrorBody{Error: Error{Code: code, Message: ctx.Err().Error()}})
+			return
+		}
+	}
+}
+
+// execute runs one request on a queue worker: materialize the models
+// (inline texts parse here, not on the handler goroutine, so the queue
+// bounds that CPU work too), derive the per-request engine, share or
+// build the performance model, share or build the measures, then
+// assemble the wire result.
+func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.ProgressFunc) (*Result, error) {
+	models, hashes, err := s.resolveModels(req)
+	if err != nil {
+		return nil, err
+	}
+	var opts []multival.Option
+	if req.Workers > 0 {
+		opts = append(opts, multival.WithWorkers(req.Workers))
+	}
+	if req.UniformScheduler {
+		opts = append(opts, multival.WithScheduler(multival.UniformScheduler{}))
+	}
+	opts = append(opts, multival.WithProgress(hook))
+	eng := s.base.With(opts...)
+
+	lump := req.Lump == nil || *req.Lump
+	pSpec := perfSpec{
+		ModelHashes: hashes,
+		Sync:        req.Sync,
+		Hide:        req.Hide,
+		Minimize:    req.Minimize,
+		Rates:       req.Rates,
+		Markers:     req.Markers,
+		Lump:        lump,
+		Uniform:     req.UniformScheduler,
+	}
+	perfKey := "perf/" + specHash(pSpec)
+
+	v, _, err := s.cache.Do(ctx, perfKey, func() (any, error) {
+		p := eng.Compose(models...).Sync(req.Sync...).Hide(req.Hide...)
+		if req.Minimize != "" {
+			rel, err := multival.ParseRelation(req.Minimize)
+			if err != nil {
+				return nil, badRequestf("%v", err)
+			}
+			p = p.Minimize(rel)
+		}
+		p = p.DecorateGateRates(req.Rates, req.Markers...)
+		if lump {
+			p = p.Lump()
+		}
+		return p.Perf(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pm := v.(*multival.PerfModel)
+
+	kind, at := "steady", 0.0
+	if req.At != nil {
+		kind, at = "transient", *req.At
+	}
+	mSpec := measureSpec{Perf: perfKey, Kind: kind, At: at}
+	v, hit, err := s.cache.Do(ctx, "measure/"+specHash(mSpec), func() (any, error) {
+		if kind == "transient" {
+			return pm.Transient(ctx, at)
+		}
+		return pm.SteadyState(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := v.(*multival.Measures)
+
+	res := ResultFromMeasures(ms, kind, at, req.IncludeProbabilities)
+	res.ModelHash = hashes[0]
+	res.IMCStates = pm.States()
+	res.CacheHit = hit
+	if len(req.MeanTimeTo) > 0 {
+		res.MeanTimes = make(map[string]float64, len(req.MeanTimeTo))
+		for _, lab := range req.MeanTimeTo {
+			t, err := pm.MeanTimeTo(ctx, lab)
+			if err != nil {
+				return nil, err
+			}
+			res.MeanTimes[lab] = t
+		}
+	}
+	if len(req.Bounds) > 0 {
+		res.Bounds = make(map[string][2]float64, len(req.Bounds))
+		for _, lab := range req.Bounds {
+			lo, hi, err := pm.ThroughputBounds(ctx, lab)
+			if err != nil {
+				return nil, err
+			}
+			res.Bounds[lab] = [2]float64{lo, hi}
+		}
+	}
+	return res, nil
+}
+
+// ArtifactTotals aggregates the PerfModel artifact counters over the
+// currently cached performance models: the observability hook behind
+// "N identical requests cost one extraction".
+type ArtifactTotals struct {
+	PerfModels      int `json:"perf_models"`
+	MaximalProgress int `json:"maximal_progress"`
+	Extractions     int `json:"extractions"`
+	Redirected      int `json:"redirected"`
+}
+
+// StatsBody is the response of GET /v1/stats.
+type StatsBody struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Queue         QueueStats     `json:"queue"`
+	Cache         CacheStats     `json:"cache"`
+	Models        CacheStats     `json:"models"`
+	Artifacts     ArtifactTotals `json:"artifacts"`
+}
+
+// Stats assembles the current service counters.
+func (s *Server) Stats() StatsBody {
+	body := StatsBody{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queue:         s.queue.Stats(),
+		Cache:         s.cache.Stats(),
+		Models:        s.models.Stats(),
+	}
+	s.cache.Each(func(_ string, v any) {
+		pm, ok := v.(*multival.PerfModel)
+		if !ok {
+			return
+		}
+		a := pm.Artifacts()
+		body.Artifacts.PerfModels++
+		body.Artifacts.MaximalProgress += a.MaximalProgress
+		body.Artifacts.Extractions += a.Extractions
+		body.Artifacts.Redirected += a.Redirected
+	})
+	return body
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]bool{"ok": true})
+}

@@ -1,0 +1,250 @@
+// This file holds the wire types: the one JSON result format shared by
+// the HTTP service and the -json mode of the command-line tools
+// (cmd/internal/cli re-exports these), so a client parses identical bytes
+// whether a measure came over the wire or out of a local run.
+
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"multival"
+)
+
+// SolveRequest is the body of POST /v1/solve: one pipeline execution —
+// compose/hide/minimize/decorate/lump/solve — mirroring the Pipeline
+// builder of the root package.
+type SolveRequest struct {
+	// Model is an inline model in Aldebaran (.aut) syntax. ModelHash
+	// references a model previously uploaded to /v1/models (or solved
+	// inline) by its content digest. Models/ModelHashes list composition
+	// operands synchronized on the Sync gates. Exactly one of the four
+	// ways of naming the model must be used.
+	Model       string   `json:"model,omitempty"`
+	ModelHash   string   `json:"model_hash,omitempty"`
+	Models      []string `json:"models,omitempty"`
+	ModelHashes []string `json:"model_hashes,omitempty"`
+	Sync        []string `json:"sync,omitempty"`
+
+	// Hide names gates replaced by the internal action before
+	// minimization; Minimize names the reduction relation ("" = none).
+	Hide     []string `json:"hide,omitempty"`
+	Minimize string   `json:"minimize,omitempty"`
+
+	// Rates decorates every label of a gate with an exponential delay of
+	// the gate's rate; Markers keeps a visible completion event per gate
+	// so its throughput stays measurable. Lump (default true) minimizes
+	// the decorated model modulo strong Markovian bisimulation.
+	Rates   map[string]float64 `json:"rates"`
+	Markers []string           `json:"markers,omitempty"`
+	Lump    *bool              `json:"lump,omitempty"`
+
+	// At selects the transient distribution at that time instead of the
+	// steady state. MeanTimeTo lists labels whose expected first-passage
+	// time to report; Bounds lists labels whose throughput to bound over
+	// all deterministic schedulers.
+	At         *float64 `json:"at,omitempty"`
+	MeanTimeTo []string `json:"mean_time_to,omitempty"`
+	Bounds     []string `json:"bounds,omitempty"`
+
+	// UniformScheduler resolves internal nondeterminism uniformly
+	// instead of rejecting it.
+	UniformScheduler bool `json:"uniform_scheduler,omitempty"`
+
+	// IncludeProbabilities adds the per-state distribution to the result
+	// (off by default: the vector is large and most clients only want
+	// throughputs).
+	IncludeProbabilities bool `json:"include_probabilities,omitempty"`
+
+	// DeadlineMS overrides the server's default per-request deadline,
+	// capped by the server's maximum. Workers overrides the engine
+	// worker count for this request.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	Workers    int `json:"workers,omitempty"`
+}
+
+// Result is the outcome of one solve: the wire twin of
+// multival.Measures plus the identities needed to reuse it (the model's
+// content digest) and cache observability.
+type Result struct {
+	// ModelHash is the content digest of the (first) input model;
+	// subsequent requests may reference it instead of re-sending the
+	// model text.
+	ModelHash string `json:"model_hash,omitempty"`
+	// Kind is "steady" or "transient"; At is the query time of a
+	// transient result.
+	Kind string  `json:"kind"`
+	At   float64 `json:"at,omitempty"`
+	// IMCStates is the size of the (lumped) performance model,
+	// CTMCStates the size of the solved chain.
+	IMCStates  int `json:"imc_states,omitempty"`
+	CTMCStates int `json:"ctmc_states"`
+	// CacheHit reports that the measures came from the artifact cache
+	// (set by the server; local CLI runs leave it false).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Probabilities lists the states with probability above 1e-12, in
+	// CTMC state order (present only when requested).
+	Probabilities []StateProb `json:"probabilities,omitempty"`
+	// Throughputs maps each visible label to its occurrence rate.
+	Throughputs map[string]float64 `json:"throughputs,omitempty"`
+	// MeanTimes maps queried labels to expected first-passage times.
+	MeanTimes map[string]float64 `json:"mean_times,omitempty"`
+	// Bounds maps queried labels to [min, max] throughput over all
+	// deterministic schedulers.
+	Bounds map[string][2]float64 `json:"bounds,omitempty"`
+}
+
+// StateProb is one entry of a probability vector: the CTMC state, the
+// IMC state it represents, and its probability.
+type StateProb struct {
+	State    int     `json:"state"`
+	IMCState int     `json:"imc_state"`
+	P        float64 `json:"p"`
+}
+
+// probEpsilon mirrors the text output of cmd/solve: states below it are
+// not listed.
+const probEpsilon = 1e-12
+
+// ResultFromMeasures converts Measures into the wire Result. kind is
+// "steady" or "transient" (at is recorded for the latter); the
+// probability vector is included only when includePi is set.
+func ResultFromMeasures(ms *multival.Measures, kind string, at float64, includePi bool) *Result {
+	r := &Result{
+		Kind:        kind,
+		CTMCStates:  ms.CTMCStates,
+		Throughputs: ms.Throughputs,
+	}
+	if kind == "transient" {
+		r.At = at
+	}
+	if includePi {
+		for i, p := range ms.Pi {
+			if p > probEpsilon {
+				r.Probabilities = append(r.Probabilities, StateProb{State: i, IMCState: ms.StateOf[i], P: p})
+			}
+		}
+	}
+	return r
+}
+
+// CheckResult is the wire form of a model-checking verdict (cmd/evaluate
+// -json).
+type CheckResult struct {
+	Holds     bool     `json:"holds"`
+	Formula   string   `json:"formula"`
+	SatCount  int      `json:"sat_count"`
+	NumStates int      `json:"num_states"`
+	Witness   []string `json:"witness,omitempty"`
+}
+
+// Error is a structured wire error: a stable machine-readable code plus
+// the human-readable message. Every error body is {"error": {...}}.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorBody is the envelope of every error response.
+type ErrorBody struct {
+	Error Error `json:"error"`
+}
+
+// ErrorCode maps an error to its stable wire code and HTTP status,
+// classifying the typed sentinels of the analysis flow, the context
+// errors of per-request deadlines, and the queue's admission errors.
+func ErrorCode(err error) (code string, status int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded", http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return "canceled", 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full", http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueClosed):
+		return "shutting_down", http.StatusServiceUnavailable
+	case errors.Is(err, errUnknownModel):
+		return "unknown_model", http.StatusNotFound
+	case errors.Is(err, multival.ErrNoConvergence):
+		return "no_convergence", http.StatusUnprocessableEntity
+	case errors.Is(err, multival.ErrNondeterministic):
+		return "nondeterministic", http.StatusUnprocessableEntity
+	case errors.Is(err, multival.ErrStateBound):
+		return "state_bound", http.StatusUnprocessableEntity
+	case errors.Is(err, multival.ErrNotIrreducible):
+		return "not_irreducible", http.StatusUnprocessableEntity
+	case errors.Is(err, multival.ErrZeno):
+		return "zeno", http.StatusUnprocessableEntity
+	case errors.Is(err, errBadRequest):
+		return "bad_request", http.StatusBadRequest
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// errBadRequest tags request-shape errors (malformed JSON, missing
+// fields, unparsable models) so ErrorCode maps them to 400.
+var errBadRequest = errors.New("bad request")
+
+// badRequestf wraps a request-shape error with errBadRequest.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// errUnknownModel reports a model_hash that names no stored model.
+var errUnknownModel = errors.New("model hash not found; upload via /v1/models or send the model inline")
+
+// EncodeJSON writes v as indented JSON followed by a newline: the one
+// serializer of both the HTTP service and the CLI -json mode, so outputs
+// are byte-comparable across transports.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// EncodeJSONCompact writes v as single-line JSON (SSE data: lines must
+// not contain raw newlines).
+func EncodeJSONCompact(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeJSON parses one JSON value from r into v, rejecting trailing
+// garbage.
+func DecodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// specHash returns the content digest of a request-derived spec: the
+// SHA-256 of its canonical JSON encoding (struct field order is fixed, so
+// encoding/json is canonical here). It keys derived artifacts in the
+// cache.
+func specHash(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Specs are plain structs of strings and numbers; Marshal cannot
+		// fail on them.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

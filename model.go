@@ -49,6 +49,19 @@ var defaultEngine = NewEngine()
 // Options returns a copy of the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// With returns a derived engine: a copy of e's options with opts applied
+// on top. The receiver is unchanged, so a long-lived service derives
+// per-request engines (request workers, deadline-scoped progress hooks, a
+// request scheduler) from one shared base engine without mutating — or
+// racing on — the base engine's Options.
+func (e *Engine) With(opts ...Option) *Engine {
+	d := &Engine{opts: e.or().opts}
+	for _, o := range opts {
+		o(&d.opts)
+	}
+	return d
+}
+
 // or returns e, or the default engine when e is nil (models built by the
 // deprecated package-level constructors).
 func (e *Engine) or() *Engine {
@@ -95,6 +108,15 @@ func (m *Model) States() int { return m.L.NumStates() }
 
 // Transitions returns the number of transitions.
 func (m *Model) Transitions() int { return m.L.NumTransitions() }
+
+// Hash returns the canonical content digest of the model: the SHA-256 of
+// its frozen CSR form (see lts.Frozen.Hash), invariant under transition
+// insertion order and label interning order. Behaviourally identical
+// builds hash identically, which makes the digest a content address for
+// caching derived artifacts (quotients, extracted CTMCs, solutions)
+// across requests. The digest reflects the LTS at call time; it is
+// recomputed per call, so hash once and reuse the string when keying.
+func (m *Model) Hash() string { return m.L.Freeze().Hash() }
 
 // Minimize returns the quotient of the model modulo rel, computed by the
 // engine with ctx observed at every refinement round boundary.

@@ -44,6 +44,7 @@ package multival
 
 import (
 	"context"
+	"fmt"
 
 	"multival/internal/bisim"
 	"multival/internal/imc"
@@ -61,6 +62,23 @@ const (
 	DivBranching = bisim.DivBranching
 	Trace        = bisim.Trace
 )
+
+// ParseRelation maps the conventional external spelling of an equivalence
+// (CLI flags, HTTP request fields) to its Relation.
+func ParseRelation(s string) (Relation, error) {
+	switch s {
+	case "strong":
+		return Strong, nil
+	case "branching":
+		return Branching, nil
+	case "divbranching":
+		return DivBranching, nil
+	case "trace":
+		return Trace, nil
+	default:
+		return 0, fmt.Errorf("unknown relation %q (want strong | branching | divbranching | trace)", s)
+	}
+}
 
 // FromLOTOS parses a specification in the LOTOS-like DSL (see
 // internal/lotos) and generates its state space with the default engine.

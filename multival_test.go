@@ -222,3 +222,50 @@ func TestThroughputBoundsFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineWith: a derived engine overrides options without mutating
+// (or aliasing) the base engine's.
+func TestEngineWith(t *testing.T) {
+	base := NewEngine(WithWorkers(2), WithMaxStates(100), WithTolerance(1e-6))
+	derived := base.With(WithWorkers(8), WithProgress(func(Progress) {}))
+
+	if got := derived.Options(); got.Workers != 8 || got.MaxStates != 100 || got.Tolerance != 1e-6 || got.Progress == nil {
+		t.Fatalf("derived options = %+v; want workers 8 inheriting max-states/tolerance and a progress hook", got)
+	}
+	if got := base.Options(); got.Workers != 2 || got.Progress != nil {
+		t.Fatalf("base options mutated by With: %+v", got)
+	}
+	// A derived engine of a nil receiver falls back to the defaults.
+	var nilEng *Engine
+	if got := nilEng.With(WithWorkers(3)).Options(); got.Workers != 3 {
+		t.Fatalf("nil base: %+v", got)
+	}
+	// Derived engines drive pipelines exactly like constructed ones.
+	m, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := base.With(WithMaxStates(1))
+	if _, err := bounded.Compose(m.Hide("put"), m).Sync("get").Model(context.Background()); err == nil {
+		t.Fatal("derived 1-state bound did not trip")
+	}
+}
+
+// TestModelHash: the facade digest is stable across behaviourally
+// identical builds and distinguishes different behaviours.
+func TestModelHash(t *testing.T) {
+	a, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromLOTOS(bufferSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == "" || a.Hash() != b.Hash() {
+		t.Fatalf("identical builds hash differently: %s vs %s", a.Hash(), b.Hash())
+	}
+	if h := a.Hide("get").Hash(); h == a.Hash() {
+		t.Fatal("hiding a gate did not change the hash")
+	}
+}

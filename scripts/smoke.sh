@@ -38,4 +38,28 @@ echo "smoke: solve (steady + transient + bounds)"
 echo "smoke: experiments (E3)"
 "$tmp/bin/experiments" -timeout 2m E3 | grep -q "E3"
 
+echo "smoke: solve -json / evaluate -json (wire format)"
+"$tmp/bin/solve" -rate put=1 -rate get=2 -marker get -json "$tmp/buf.min.aut" | grep -q '"throughputs"'
+"$tmp/bin/evaluate" -deadlock -json "$tmp/buf.min.aut" | grep -q '"holds": true'
+
+echo "smoke: serve (start, solve, cache-hit repeat, stats)"
+go build -o "$tmp/bin/serve-client" ./examples/serve-client
+"$tmp/bin/serve" -addr 127.0.0.1:0 -queue-workers 2 >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on //p' "$tmp/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke: serve never reported its address"; cat "$tmp/serve.log"; exit 1; }
+# Cold solve...
+"$tmp/bin/serve-client" -addr "$addr" -model "$tmp/buf.min.aut" \
+    -rate put=1 -rate get=2 -marker get | grep -q '"throughputs"'
+# ...and the identical repeat must be answered from the artifact cache.
+"$tmp/bin/serve-client" -addr "$addr" -model "$tmp/buf.min.aut" \
+    -rate put=1 -rate get=2 -marker get | grep -q '"cache_hit": true'
+"$tmp/bin/serve-client" -addr "$addr" -stats | grep -q '"extractions": 1'
+kill "$serve_pid"
+
 echo "smoke: OK"
