@@ -12,9 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled tests of the concurrent layers: the parallel refinement
-# engine, the pipeline package (root), the CSR sweep kernels, the
-# solvers sharding them across workers, and the serving layer (queue
-# workers + singleflight cache).
+# engine, sharded product generation (the compose differential tests
+# force the multi-worker path), the pipeline package (root), the CSR
+# sweep kernels, the solvers sharding them across workers, and the
+# serving layer (queue workers + singleflight cache).
 race:
 	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve
 
@@ -31,11 +32,12 @@ bench:
 bench-engine:
 	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
 
-# The solver + serving trajectory: 100k-state steady state (CSR kernel
-# vs the closure reference vs parallel Jacobi), multi-BSCC absorption,
-# parallel uniformization, policy-iteration throughput bounds, and the
-# server's cold-solve vs cache-hit request latency, repeated for
-# benchstat and summarized into BENCH_PR4.json.
+# The solver + serving + composition trajectory: 100k-state steady
+# state (CSR kernel vs the closure reference vs parallel Jacobi),
+# multi-BSCC absorption, parallel uniformization, policy-iteration
+# throughput bounds, the server's cold-solve vs cache-hit request
+# latency, and sequential vs sharded generation of the ~100k-state
+# product, repeated for benchstat and summarized into BENCH_PR5.json.
 bench-solver:
 	./scripts/bench.sh
 

@@ -6,6 +6,7 @@ package multival
 // tables come from `go run ./cmd/experiments`.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -518,6 +519,57 @@ func benchComposeThenMinimize(b *testing.B, states int) {
 func BenchmarkComposeMinimize10k(b *testing.B)  { benchComposeThenMinimize(b, 10_000) }
 func BenchmarkComposeMinimize40k(b *testing.B)  { benchComposeThenMinimize(b, 40_000) }
 func BenchmarkComposeMinimize100k(b *testing.B) { benchComposeThenMinimize(b, 100_000) }
+
+// composeBenchNetwork is the sharded-generation acceptance workload: a
+// random 20k-state component times a small synchronizing monitor, whose
+// product reaches ~96k states / ~286k transitions. Both benchmarks below
+// generate the identical product (the sharded generator renumbers to the
+// sequential order), so their ratio is the sharding speedup.
+func composeBenchNetwork() *compose.Network {
+	rng := rand.New(rand.NewSource(20000))
+	main := lts.Random(rng, lts.RandomConfig{
+		States: 20_000, Labels: 6, Density: 3, TauProb: 0.2, Connect: true,
+	})
+	monitor := lts.Random(rng, lts.RandomConfig{States: 5, Labels: 3, Density: 3, Connect: true})
+	return &compose.Network{
+		Components: []*lts.LTS{main, monitor},
+		Sync:       []string{"a", "b", "c"},
+		MaxStates:  1 << 22,
+	}
+}
+
+// BenchmarkComposeSeq100k generates the ~100k-state product with the
+// sequential reference generator (one worklist, one intern map).
+func BenchmarkComposeSeq100k(b *testing.B) {
+	net := composeBenchNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := net.GenerateOpt(context.Background(), compose.GenOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.NumStates() == 0 {
+			b.Fatal("empty product")
+		}
+	}
+}
+
+// BenchmarkComposeParallel100k generates the identical product with four
+// hash-partitioned shards; the acceptance bar of the sharded generator is
+// >= 1.5x over BenchmarkComposeSeq100k.
+func BenchmarkComposeParallel100k(b *testing.B) {
+	net := composeBenchNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := net.GenerateOpt(context.Background(), compose.GenOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.NumStates() == 0 {
+			b.Fatal("empty product")
+		}
+	}
+}
 
 // partitionInput is the ≥50k-state workload of the acceptance criterion:
 // the parallel engine must be no slower than the sequential reference.

@@ -141,6 +141,33 @@ behaviour Buf
 	}
 }
 
+// TestCLICompose drives the compose tool: the one-place buffer
+// synchronized with itself on both gates runs in lockstep, so the sharded
+// product must reproduce the golden serialization byte for byte — the
+// CLI-level witness of the generator's determinism contract.
+func TestCLICompose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	aut := filepath.Join(dir, "buf.aut")
+	if err := os.WriteFile(aut, []byte(goldenBufAut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"1", "3"} {
+		out := runTool(t, true, "compose", "-sync", "put,get", "-workers", workers, aut, aut)
+		if out != goldenBufAut {
+			t.Fatalf("compose -workers %s output:\n%q\nwant:\n%q", workers, out, goldenBufAut)
+		}
+	}
+	// -rel minimizes the product; -hide with a bound exercises the
+	// remaining flags.
+	out := runTool(t, true, "compose", "-sync", "put,get", "-hide", "put", "-rel", "branching", "-max-states", "64", aut, aut)
+	if !strings.Contains(out, "des (") {
+		t.Fatalf("compose -rel output: %q", out)
+	}
+}
+
 // TestCLITimeoutAborts: an immediate -timeout cancels the pipeline and
 // the tool reports the deadline instead of producing output.
 func TestCLITimeoutAborts(t *testing.T) {

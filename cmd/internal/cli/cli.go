@@ -101,11 +101,19 @@ func ProgressPrinter(tool string, w io.Writer) multival.ProgressFunc {
 		mu.Lock()
 		defer mu.Unlock()
 		now := time.Now()
-		if now.Sub(last) < 100*time.Millisecond {
+		// Completion reports (exact state/transition counts) always
+		// print; intermediate ones are throttled.
+		if !p.Done && now.Sub(last) < 100*time.Millisecond {
 			return
 		}
 		last = now
 		switch p.Stage {
+		case "compose", "generate":
+			if p.Done {
+				fmt.Fprintf(w, "%s: %s done: %d states, %d transitions\n", tool, p.Stage, p.States, p.Transitions)
+			} else {
+				fmt.Fprintf(w, "%s: %s: %d states\n", tool, p.Stage, p.States)
+			}
 		case "refine", "lump":
 			fmt.Fprintf(w, "%s: %s round %d: %d blocks over %d states\n", tool, p.Stage, p.Round, p.Blocks, p.States)
 		case "steady", "absorb", "fpt":

@@ -8,8 +8,9 @@ package compose
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
 
 	"multival/internal/bisim"
@@ -52,14 +53,37 @@ func (e *ExplosionError) Error() string {
 // errors.Is(err, engine.ErrStateBound) holds.
 func (e *ExplosionError) Unwrap() error { return engine.ErrStateBound }
 
+// GenOptions configures product generation. The zero value selects the
+// package defaults: one generation shard per core, no progress reporting.
+type GenOptions struct {
+	// Workers is the number of generation shards. Zero or negative
+	// selects GOMAXPROCS; one selects the sequential reference
+	// generator; above one the reachable-state frontier is partitioned
+	// by tuple hash across that many shards (see GenerateOpt). The
+	// result is state-for-state identical either way.
+	Workers int
+	// Progress, when non-nil, observes generation (stage "compose"):
+	// intermediate reports carry the states discovered so far, and one
+	// final report carries the exact state and transition counts of the
+	// finished product.
+	Progress engine.ProgressFunc
+}
+
+func (o GenOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Generate builds the product LTS of the network on the fly: every
 // component is frozen into its CSR form once, and the synchronized product
 // is explored with a reachable-states worklist, so only reachable tuples
 // are ever materialized. Synchronization candidates are located by binary
 // search in the label-sorted CSR rows of the frozen operands. It is
-// GenerateCtx without cancellation or progress reporting.
+// GenerateOpt with default options (one shard per core, no cancellation).
 func (n *Network) Generate() (*lts.LTS, error) {
-	return n.GenerateCtx(context.Background(), nil)
+	return n.GenerateOpt(context.Background(), GenOptions{})
 }
 
 // genCheckEvery is the number of worklist states between cancellation
@@ -67,42 +91,135 @@ func (n *Network) Generate() (*lts.LTS, error) {
 const genCheckEvery = 1024
 
 // GenerateCtx is Generate with cancellation and progress observation: the
-// reachable-states worklist checks ctx every genCheckEvery explored tuples
-// and returns ctx.Err() (wrapped) when the context is done, so a deadline
-// or cancel aborts the product mid-worklist. progress (may be nil)
-// observes the number of product states explored so far (stage "compose").
+// generation checks ctx at worklist chunks (sequential) or exchange
+// rounds (sharded) and returns ctx.Err() (wrapped) when the context is
+// done, so a deadline or cancel aborts the product mid-worklist.
 func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc) (*lts.LTS, error) {
+	return n.GenerateOpt(ctx, GenOptions{Progress: progress})
+}
+
+// GenerateOpt is Generate with explicit options. With opt.Workers != 1
+// resolving to more than one shard, the reachable-state frontier is
+// partitioned by tuple hash: each shard owns its slice of the intern map
+// and a local worklist, cross-shard successors are exchanged through
+// per-pair mailboxes drained in rounds (termination is a quiescence
+// check), and a final deterministic renumbering pass makes the result
+// state-for-state identical to the sequential generator — same state
+// numbering, same transition order, same label table — so content
+// digests (lts.Frozen.Hash) are unaffected by the worker count.
+// Networks whose tuples do not pack into 64 bits (see genPlan.packable)
+// fall back to the sequential generator.
+func (n *Network) GenerateOpt(ctx context.Context, opt GenOptions) (*lts.LTS, error) {
+	plan, err := n.prepare()
+	if err != nil {
+		return nil, err
+	}
+	if w := opt.workers(); w > 1 && plan.packable {
+		return generateSharded(ctx, plan, w, opt.Progress)
+	}
+	return generateSeq(ctx, plan, opt.Progress)
+}
+
+// genPlan is the shared preamble of both generators: frozen operands and
+// the per-component label metadata driving synchronization, all computed
+// once per generation. Product labels are pre-interned into plan ids so
+// the sharded generator never hashes label strings in its hot loop; the
+// final LTS interns label strings in first-transition-encounter order,
+// which both generators reproduce identically.
+type genPlan struct {
+	k      int
+	bound  int
+	frozen []*lts.Frozen
+
+	// sync[i][id] reports whether label id of component i takes part in
+	// a synchronization (and so must not interleave).
+	sync [][]bool
+	// moveLab[i][id] is the plan label id emitted when component i
+	// interleaves on its local label id (tau after hiding); -1 for
+	// synchronized labels.
+	moveLab [][]int32
+	// entries lists the synchronized moves: one entry per label of a
+	// synchronized gate, in deterministic (gate, label) order.
+	entries []syncEntry
+	// labels maps plan label ids to their strings.
+	labels []string
+
+	init []lts.State
+
+	// Tuple packing for the sharded generator: component i's state
+	// occupies the bits at shift[i] of a packed uint64 key; clear[i]
+	// masks them off, so a successor key is two bit operations away from
+	// its source key. packable reports whether all components fit in 64
+	// bits together (unpackable networks fall back to the sequential
+	// generator; with the default 2^20-state product bound this takes
+	// dozens of components).
+	shift    []uint
+	clear    []uint64
+	packable bool
+}
+
+// pack returns the packed key of a tuple.
+func (p *genPlan) pack(tp []lts.State) uint64 {
+	var key uint64
+	for i, s := range tp {
+		key |= uint64(s) << p.shift[i]
+	}
+	return key
+}
+
+// syncEntry is one synchronized move: the label to emit, the component
+// indices of the whole gate's participants, and their local label ids
+// (-1 when a participant never offers this label, disabling the entry).
+type syncEntry struct {
+	lab   int32
+	parts []int
+	ids   []int
+}
+
+// prepare freezes the components and computes the label metadata shared
+// by the sequential and the sharded generator.
+func (n *Network) prepare() (*genPlan, error) {
 	if len(n.Components) == 0 {
 		return nil, fmt.Errorf("compose: empty network")
 	}
-	bound := n.MaxStates
-	if bound == 0 {
-		bound = DefaultMaxStates
+	p := &genPlan{k: len(n.Components), bound: n.MaxStates}
+	if p.bound == 0 {
+		p.bound = DefaultMaxStates
 	}
 	syncSet := toSet(n.Sync)
 	hideSet := toSet(n.Hide)
 
-	k := len(n.Components)
-	frozen := make([]*lts.Frozen, k)
+	p.frozen = make([]*lts.Frozen, p.k)
 	for i, c := range n.Components {
 		if c.NumStates() == 0 {
 			return nil, fmt.Errorf("compose: component %d is empty", i)
 		}
-		frozen[i] = c.Freeze()
+		p.frozen[i] = c.Freeze()
+	}
+
+	labelID := map[string]int32{}
+	intern := func(lab string) int32 {
+		if id, ok := labelID[lab]; ok {
+			return id
+		}
+		id := int32(len(p.labels))
+		labelID[lab] = id
+		p.labels = append(p.labels, lab)
+		return id
 	}
 
 	// Per-component label metadata, all indexed by local label id:
-	// whether the label participates in a synchronization, and the name
+	// whether the label participates in a synchronization, and the label
 	// to emit in the product (tau when its gate is hidden). Gate usage is
 	// restricted to labels occurring on at least one transition.
-	gates := make([]map[string]bool, k)
-	sync := make([][]bool, k)
-	emitName := make([][]string, k)
+	gates := make([]map[string]bool, p.k)
+	p.sync = make([][]bool, p.k)
+	p.moveLab = make([][]int32, p.k)
 	gateLabels := map[string]map[string]bool{}
-	for i, f := range frozen {
+	for i, f := range p.frozen {
 		nl := f.NumLabels()
-		sync[i] = make([]bool, nl)
-		emitName[i] = make([]string, nl)
+		p.sync[i] = make([]bool, nl)
+		p.moveLab[i] = make([]int32, nl)
 		used := make([]bool, nl)
 		for s := 0; s < f.NumStates(); s++ {
 			labs, _ := f.Out(lts.State(s))
@@ -114,12 +231,16 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 		for id := 0; id < nl; id++ {
 			lab := f.LabelName(id)
 			g := lts.Gate(lab)
-			emitName[i][id] = lab
+			emit := lab
 			if lab != lts.Tau {
-				sync[i][id] = syncSet[g]
+				p.sync[i][id] = syncSet[g]
 				if hideSet[g] {
-					emitName[i][id] = lts.Tau
+					emit = lts.Tau
 				}
+			}
+			p.moveLab[i][id] = intern(emit)
+			if p.sync[i][id] {
+				p.moveLab[i][id] = -1
 			}
 			if !used[id] {
 				continue
@@ -134,18 +255,12 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 		}
 	}
 
-	// syncEntries: one entry per (label of a synchronized gate), with the
-	// participants of the whole gate and their local label ids, in sorted
-	// order for deterministic state numbering.
-	type syncEntry struct {
-		lab   string
-		parts []int
-		ids   []int // local label id per participant (-1: never offered)
-	}
-	var syncEntries []syncEntry
+	// One entry per (label of a synchronized gate), with the participants
+	// of the whole gate and their local label ids, in sorted order for
+	// deterministic state numbering.
 	for _, g := range n.sortedSyncLabels() {
 		var parts []int
-		for i := range frozen {
+		for i := range p.frozen {
 			if gates[i][g] {
 				parts = append(parts, i)
 			}
@@ -161,25 +276,69 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 		for _, lab := range labs {
 			ids := make([]int, len(parts))
 			for pi, i := range parts {
-				ids[pi] = frozen[i].LookupLabel(lab)
+				ids[pi] = p.frozen[i].LookupLabel(lab)
 			}
 			outLab := lab
 			if hideSet[g] {
 				outLab = lts.Tau
 			}
-			syncEntries = append(syncEntries, syncEntry{outLab, parts, ids})
+			p.entries = append(p.entries, syncEntry{intern(outLab), parts, ids})
 		}
 	}
 
+	p.init = make([]lts.State, p.k)
+	for i, f := range p.frozen {
+		p.init[i] = f.Initial()
+	}
+
+	// Tuple packing layout (see the field comments).
+	p.shift = make([]uint, p.k)
+	p.clear = make([]uint64, p.k)
+	total := uint(0)
+	p.packable = true
+	for i, f := range p.frozen {
+		width := uint(bits.Len(uint(f.NumStates() - 1)))
+		if total+width > 64 {
+			p.packable = false
+			break
+		}
+		p.shift[i] = total
+		mask := uint64(1)<<width - 1
+		p.clear[i] = ^(mask << total)
+		total += width
+	}
+	return p, nil
+}
+
+// encodeTuple appends the fixed-width little-endian encoding of tp to
+// dst: the canonical intern-map key of a product tuple in the sequential
+// generator (the sharded generator uses packed uint64 keys instead).
+func encodeTuple(dst []byte, tp []lts.State) []byte {
+	for _, s := range tp {
+		dst = append(dst, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return dst
+}
+
+// GenerateSeq is the sequential reference generator: one worklist through
+// one intern map, the differential anchor of the sharded generator (the
+// parallel product is asserted state-for-state identical to it).
+func (n *Network) GenerateSeq(ctx context.Context, progress engine.ProgressFunc) (*lts.LTS, error) {
+	plan, err := n.prepare()
+	if err != nil {
+		return nil, err
+	}
+	return generateSeq(ctx, plan, progress)
+}
+
+// generateSeq runs the sequential worklist over a prepared plan.
+func generateSeq(ctx context.Context, plan *genPlan, progress engine.ProgressFunc) (*lts.LTS, error) {
+	bound := plan.bound
+	frozen := plan.frozen
+
 	out := lts.New("product")
 	type tuple []lts.State
-	encode := func(tp tuple) string {
-		buf := make([]byte, 4*len(tp))
-		for i, s := range tp {
-			binary.LittleEndian.PutUint32(buf[4*i:], uint32(s))
-		}
-		return string(buf)
-	}
+	encode := func(tp tuple) string { return string(encodeTuple(nil, tp)) }
 	index := map[string]lts.State{}
 	var tuples []tuple
 
@@ -197,11 +356,7 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 		return s, nil
 	}
 
-	init := make(tuple, k)
-	for i, f := range frozen {
-		init[i] = f.Initial()
-	}
-	if _, err := intern(init); err != nil {
+	if _, err := intern(append(tuple(nil), plan.init...)); err != nil {
 		return nil, err
 	}
 	out.SetInitial(0)
@@ -231,12 +386,12 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 			labs, dsts := f.Out(tp[i])
 			for ti := range labs {
 				id := labs[ti]
-				if sync[i][id] {
+				if plan.sync[i][id] {
 					continue
 				}
 				nt := append(tuple(nil), tp...)
 				nt[i] = lts.State(dsts[ti])
-				if err := emit(src, emitName[i][id], nt); err != nil {
+				if err := emit(src, plan.labels[plan.moveLab[i][id]], nt); err != nil {
 					return nil, err
 				}
 			}
@@ -244,7 +399,8 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 
 		// Synchronized moves, per sync label with all participants
 		// simultaneously enabled.
-		for _, se := range syncEntries {
+		for ei := range plan.entries {
+			se := &plan.entries[ei]
 			if cap(options) < len(se.parts) {
 				options = make([][]int32, len(se.parts))
 			}
@@ -272,7 +428,7 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 				for pi, i := range se.parts {
 					nt[i] = lts.State(options[pi][idxs[pi]])
 				}
-				if err := emit(src, se.lab, nt); err != nil {
+				if err := emit(src, plan.labels[se.lab], nt); err != nil {
 					return nil, err
 				}
 				// Advance odometer.
@@ -291,6 +447,9 @@ func (n *Network) GenerateCtx(ctx context.Context, progress engine.ProgressFunc)
 			}
 		}
 	}
+	progress.Report(engine.Progress{
+		Stage: "compose", States: out.NumStates(), Transitions: out.NumTransitions(), Done: true,
+	})
 	return out, nil
 }
 

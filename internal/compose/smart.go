@@ -47,7 +47,8 @@ func SmartReduce(n *Network, rel bisim.Relation) (*lts.LTS, *Report, error) {
 
 // SmartReduceOpt is SmartReduce with explicit engine options: every
 // intermediate minimization runs through the shared CSR-backed refinement
-// engine with the given worker configuration.
+// engine, and every intermediate product generation through the sharded
+// generator, with the given worker configuration.
 func SmartReduceOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	return SmartReduceCtx(context.Background(), n, rel, opt)
 }
@@ -192,7 +193,7 @@ func SmartReduceCtx(ctx context.Context, n *Network, rel bisim.Relation, opt bis
 			Components: []*lts.LTS{a.l, b.l},
 			Sync:       pairSync,
 			MaxStates:  n.MaxStates,
-		}).GenerateCtx(ctx, opt.Progress)
+		}).GenerateOpt(ctx, GenOptions{Workers: opt.Workers, Progress: opt.Progress})
 		if err != nil {
 			return nil, report, err
 		}
@@ -293,7 +294,7 @@ func MonolithicOpt(n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS,
 // MonolithicCtx is Monolithic with cancellation (see SmartReduceCtx).
 func MonolithicCtx(ctx context.Context, n *Network, rel bisim.Relation, opt bisim.Options) (*lts.LTS, *Report, error) {
 	report := &Report{}
-	prod, err := n.GenerateCtx(ctx, opt.Progress)
+	prod, err := n.GenerateOpt(ctx, GenOptions{Workers: opt.Workers, Progress: opt.Progress})
 	if err != nil {
 		return nil, report, err
 	}

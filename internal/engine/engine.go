@@ -51,7 +51,18 @@ type Progress struct {
 	Stage string
 	// States is the number of states explored or in play.
 	States int
-	// Round is the refinement round or solver sweep number.
+	// Transitions is the number of transitions built so far. Generation
+	// stages fill it on their final report, which carries the exact
+	// state and transition counts of the finished product (intermediate
+	// reports may leave it zero).
+	Transitions int
+	// Done marks the final report of a stage: the counts above are the
+	// exact totals of the finished operation, not an in-flight snapshot.
+	// Observers that throttle intermediate reports must always deliver
+	// Done ones.
+	Done bool
+	// Round is the refinement round or solver sweep number. For sharded
+	// product generation it is the exchange round.
 	Round int
 	// Blocks is the current partition block count (refinement stages).
 	Blocks int

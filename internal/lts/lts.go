@@ -241,6 +241,59 @@ func (l *LTS) DeadlockStates() []State {
 	return dead
 }
 
+// Build constructs an LTS in one pass from parts whose shape is already
+// known: the full label table (indexed by label id), and the transition
+// list in final insertion order. Per-state adjacency is assembled by
+// counting sort into exactly-sized backing arrays instead of
+// per-transition appends, so bulk producers — the sharded product
+// generator's renumbering pass — pay O(states + transitions) with a
+// constant number of allocations. Build takes ownership of trans; the
+// result is indistinguishable from an LTS built by AddTransitionID calls
+// in the same order (later mutations remain valid: the per-state slices
+// are capacity-clamped, so appends copy out of the shared arrays).
+func Build(name string, numStates int, initial State, labels []string, trans []Transition) *LTS {
+	l := &LTS{
+		name:      name,
+		numStates: numStates,
+		labels:    append([]string(nil), labels...),
+		labelIdx:  make(map[string]int, len(labels)),
+		trans:     trans,
+		out:       make([][]int32, numStates),
+		in:        make([][]int32, numStates),
+	}
+	for i, lab := range l.labels {
+		l.labelIdx[lab] = i
+	}
+	outDeg := make([]int32, numStates)
+	inDeg := make([]int32, numStates)
+	for _, t := range trans {
+		l.checkState(t.Src)
+		l.checkState(t.Dst)
+		if t.Label < 0 || t.Label >= len(l.labels) {
+			panic(fmt.Sprintf("lts: label %d out of range [0,%d)", t.Label, len(l.labels)))
+		}
+		outDeg[t.Src]++
+		inDeg[t.Dst]++
+	}
+	outBuf := make([]int32, len(trans))
+	inBuf := make([]int32, len(trans))
+	var outOff, inOff int32
+	for s := 0; s < numStates; s++ {
+		l.out[s] = outBuf[outOff : outOff : outOff+outDeg[s]]
+		l.in[s] = inBuf[inOff : inOff : inOff+inDeg[s]]
+		outOff += outDeg[s]
+		inOff += inDeg[s]
+	}
+	for i, t := range trans {
+		l.out[t.Src] = append(l.out[t.Src], int32(i))
+		l.in[t.Dst] = append(l.in[t.Dst], int32(i))
+	}
+	if numStates > 0 {
+		l.SetInitial(initial)
+	}
+	return l
+}
+
 // Copy returns a deep copy of the LTS.
 func (l *LTS) Copy() *LTS {
 	c := New(l.name)

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -133,8 +134,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 		c.misses++
 		c.mu.Unlock()
 
-		e.val, e.err = fn()
-		close(e.ready)
+		c.build(key, e, fn)
 
 		c.mu.Lock()
 		if e.err != nil {
@@ -157,6 +157,42 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 		c.mu.Unlock()
 		return e.val, false, nil
 	}
+}
+
+// build runs fn and publishes its outcome into e. A panic (or a
+// runtime.Goexit) escaping fn must not leave the entry permanently in
+// flight: e.ready would never close and the key would stay published, so
+// every later Do for it — and every joiner already waiting — would block
+// on a build that will never finish, wedging the key until process
+// restart. The deferred handler therefore marks the entry failed, wakes
+// the joiners (each retries under its own context), unpublishes the key
+// so the next request rebuilds it, and re-panics for the caller's
+// recovery machinery.
+func (c *Cache) build(key string, e *cacheEntry, fn func() (any, error)) {
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		r := recover()
+		if r != nil {
+			e.err = fmt.Errorf("serve: building artifact %q panicked: %v", key, r)
+		} else {
+			e.err = fmt.Errorf("serve: building artifact %q aborted", key)
+		}
+		close(e.ready)
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		if r != nil {
+			panic(r)
+		}
+	}()
+	e.val, e.err = fn()
+	completed = true
+	close(e.ready)
 }
 
 // Get returns the completed artifact stored under key without building.

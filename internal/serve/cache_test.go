@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheHitMissEviction(t *testing.T) {
@@ -219,4 +220,80 @@ func TestCacheConcurrentKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestCachePanickingBuildLeavesKeyRetryable is the regression test of the
+// wedged-key bug: a panic in fn used to leave e.ready open and the entry
+// published, so every later Do for the key joined a build that would
+// never finish. The panic must propagate to the initiator, and the key
+// must be immediately rebuildable.
+func TestCachePanickingBuildLeavesKeyRetryable(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic in fn did not propagate out of Do")
+			}
+		}()
+		_, _, _ = c.Do(ctx, "k", func() (any, error) { panic("boom") })
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(ctx, "k", func() (any, error) { return 42, nil })
+		if err != nil || hit || v.(int) != 42 {
+			t.Errorf("retry after panic = %v, hit=%v, %v; want a fresh build of 42", v, hit, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key still wedged: retry Do never returned")
+	}
+}
+
+// TestCacheJoinerRetriesAfterPanickingBuild: a waiter that joined the
+// in-flight build must be woken by the panicking initiator and retry as
+// the builder itself.
+func TestCacheJoinerRetriesAfterPanickingBuild(t *testing.T) {
+	c := NewCache(4)
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { _ = recover() }()
+		_, _, _ = c.Do(ctx, "k", func() (any, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+
+	joiner := make(chan any, 1)
+	go func() {
+		v, _, err := c.Do(ctx, "k", func() (any, error) { return "rebuilt", nil })
+		if err != nil {
+			joiner <- err
+		} else {
+			joiner <- v
+		}
+	}()
+	// Let the joiner attach to the in-flight entry, then blow it up.
+	for c.Stats().Shared < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	select {
+	case v := <-joiner:
+		if v != "rebuilt" {
+			t.Fatalf("joiner got %v; want its own rebuild", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner still blocked on the panicked build")
+	}
 }

@@ -29,6 +29,7 @@ type Queue struct {
 	executed int64
 	rejected int64
 	skipped  int64
+	panics   int64
 }
 
 type queueJob struct {
@@ -62,11 +63,30 @@ func (q *Queue) worker() {
 			q.mu.Unlock()
 			continue
 		}
-		job.run(job.ctx)
-		q.mu.Lock()
-		q.executed++
-		q.mu.Unlock()
+		q.runJob(job)
 	}
+}
+
+// runJob executes one job, containing panics: a panic escaping job.run
+// would propagate out of the worker goroutine and crash the whole server
+// — and any recover that merely returned would end this worker's loop,
+// silently shrinking the pool until no worker is left. The worker
+// recovers here, counts the panic in QueueStats, and keeps draining the
+// queue. Jobs whose results are awaited must send their own failure
+// before re-panicking (see Server.handleSolve); the queue cannot answer
+// for them.
+func (q *Queue) runJob(job queueJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.mu.Lock()
+			q.panics++
+			q.mu.Unlock()
+		}
+	}()
+	job.run(job.ctx)
+	q.mu.Lock()
+	q.executed++
+	q.mu.Unlock()
 }
 
 // Submit enqueues run to be called with ctx by a worker. It never blocks:
@@ -106,7 +126,10 @@ func (q *Queue) Close() {
 }
 
 // QueueStats is a snapshot of the queue counters. Skipped counts jobs
-// whose context was done before a worker reached them (never executed).
+// whose context was done before a worker reached them (never executed);
+// Panics counts jobs whose execution panicked (recovered by the worker,
+// not counted as Executed) — a nonzero value is the operational signal
+// that some request hit a server bug without taking the process down.
 type QueueStats struct {
 	Workers  int   `json:"workers"`
 	Capacity int   `json:"capacity"`
@@ -114,6 +137,7 @@ type QueueStats struct {
 	Executed int64 `json:"executed"`
 	Rejected int64 `json:"rejected"`
 	Skipped  int64 `json:"skipped"`
+	Panics   int64 `json:"panics"`
 }
 
 // Stats returns a snapshot of the counters.
@@ -127,5 +151,6 @@ func (q *Queue) Stats() QueueStats {
 		Executed: q.executed,
 		Rejected: q.rejected,
 		Skipped:  q.skipped,
+		Panics:   q.panics,
 	}
 }

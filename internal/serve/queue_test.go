@@ -98,3 +98,33 @@ func TestQueueSubmitAfterClose(t *testing.T) {
 		t.Fatalf("Submit after Close = %v; want ErrQueueClosed", err)
 	}
 }
+
+// TestQueueWorkerSurvivesPanic is the regression test of the
+// pool-killing bug: a panic in job.run used to escape the worker
+// goroutine and crash the whole server. With one worker, the next job
+// only runs if that same worker survived; the panic must be counted in
+// the stats and not charged as an execution.
+func TestQueueWorkerSurvivesPanic(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+
+	if err := q.Submit(context.Background(), func(context.Context) { panic("job boom") }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker died on the panicking job; pool drained to zero")
+	}
+	st := q.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("stats %+v; want 1 panic counted", st)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("stats %+v; want the panicking job not charged as executed", st)
+	}
+}

@@ -293,18 +293,41 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The progress relay decouples the engine hook from the response
 	// stream: sends never block (buffered, drop-on-full), so a hook
 	// captured inside a cached artifact stays harmless after this
-	// request is gone.
+	// request is gone. Done reports (exact final counts) are the one
+	// kind an observer must not throttle away: on a full buffer they
+	// evict the oldest snapshot instead of being dropped themselves.
 	relay := make(chan multival.Progress, 32)
 	hook := func(p multival.Progress) {
-		select {
-		case relay <- p:
-		default:
+		for {
+			select {
+			case relay <- p:
+				return
+			default:
+			}
+			if !p.Done {
+				return
+			}
+			select {
+			case <-relay:
+			default:
+			}
 		}
 	}
 	streaming := wantsStream(r)
 
 	resCh := make(chan solveOutcome, 1)
 	submitErr := s.queue.Submit(ctx, func(ctx context.Context) {
+		// A panicking execution must still answer the waiting handler —
+		// the channel send below would otherwise never happen and the
+		// client would hang until its deadline (or forever without one).
+		// The structured 500 is sent first, then the panic is re-raised
+		// so the queue worker's recover counts it in QueueStats.
+		defer func() {
+			if r := recover(); r != nil {
+				resCh <- solveOutcome{err: internalf("executing request panicked: %v", r)}
+				panic(r)
+			}
+		}()
 		res, err := s.execute(ctx, req, hook)
 		resCh <- solveOutcome{res: res, err: err}
 	})
@@ -400,12 +423,20 @@ func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, relay <
 	}
 }
 
+// executeHook, when non-nil, observes every request before execution;
+// tests use it to inject failures (panics) into the queued execution
+// path.
+var executeHook func(*SolveRequest)
+
 // execute runs one request on a queue worker: materialize the models
 // (inline texts parse here, not on the handler goroutine, so the queue
 // bounds that CPU work too), derive the per-request engine, share or
 // build the performance model, share or build the measures, then
 // assemble the wire result.
 func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.ProgressFunc) (*Result, error) {
+	if executeHook != nil {
+		executeHook(req)
+	}
 	models, hashes, err := s.resolveModels(req)
 	if err != nil {
 		return nil, err

@@ -408,3 +408,39 @@ func TestServeCacheEviction(t *testing.T) {
 		t.Fatalf("cache stats = %+v; want evictions under a 1-entry cache", st.Cache)
 	}
 }
+
+// TestServePanicStructured500 is the end-to-end panic-hardening test: a
+// request whose execution panics must receive a structured 500 (not a
+// hung connection), the worker pool must survive (the next request is
+// served by the same single worker), the artifact key must not be wedged
+// (the retry builds fresh), and the panic must show up in the stats.
+func TestServePanicStructured500(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+
+	executeHook = func(*SolveRequest) { panic("injected failure") }
+	defer func() { executeHook = nil }()
+
+	req := SolveRequest{Model: bufAut, Rates: map[string]float64{"put": 1, "get": 2}, Markers: []string{"get"}}
+	status, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s; want 500", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "internal" || !strings.Contains(e.Message, "panicked") {
+		t.Fatalf("error = %+v; want code internal mentioning the panic", e)
+	}
+
+	// Same request without the injected panic: the single worker must
+	// still be alive and the cache key retryable.
+	executeHook = nil
+	status, body = postJSON(t, ts.URL+"/v1/solve", req)
+	if status != http.StatusOK {
+		t.Fatalf("retry status = %d, body %s; want 200 from the surviving worker", status, body)
+	}
+	if res := decodeResult(t, body); len(res.Throughputs) == 0 {
+		t.Fatalf("retry result %+v; want throughputs", res)
+	}
+
+	if st := s.Stats(); st.Queue.Panics != 1 {
+		t.Fatalf("queue stats %+v; want exactly one recorded panic", st.Queue)
+	}
+}

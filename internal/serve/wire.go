@@ -185,8 +185,20 @@ func ErrorCode(err error) (code string, status int) {
 	case errors.Is(err, errBadRequest):
 		return "bad_request", http.StatusBadRequest
 	default:
+		// Includes errInternal: failures of the service itself surface
+		// as a structured 500.
 		return "internal", http.StatusInternalServerError
 	}
+}
+
+// errInternal tags failures of the service itself — a panicking artifact
+// build or queued job — surfaced to the waiting request as a structured
+// 500 instead of a hung connection or a dead server.
+var errInternal = errors.New("internal error")
+
+// internalf wraps a server-side failure with errInternal.
+func internalf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errInternal}, args...)...)
 }
 
 // errBadRequest tags request-shape errors (malformed JSON, missing

@@ -33,10 +33,12 @@ type ProgressFunc = engine.ProgressFunc
 // Build one with NewEngine and the With* functional options.
 type Options struct {
 	// Workers is the goroutine count of the parallel engines: the
-	// signature-refinement rounds (0 = GOMAXPROCS) and, when above 1,
-	// the numerical solvers' parallel Jacobi sweeps and uniformization
-	// products (0 or 1 keeps the sequential Gauss–Seidel kernels, which
-	// need fewer sweeps on one core).
+	// signature-refinement rounds and the sharded product generation of
+	// compositions (0 = GOMAXPROCS; sharding never changes the product —
+	// it is state-for-state identical to the sequential one) and, when
+	// above 1, the numerical solvers' parallel Jacobi sweeps and
+	// uniformization products (0 or 1 keeps the sequential Gauss–Seidel
+	// kernels, which need fewer sweeps on one core).
 	Workers int
 	// MaxStates bounds every state-space generation (DSL exploration,
 	// synchronized products, delay decoration). 0 selects the package
@@ -58,9 +60,10 @@ type Options struct {
 // Option mutates Options; pass them to NewEngine.
 type Option func(*Options)
 
-// WithWorkers sets the worker count of the refinement engine (0 =
-// GOMAXPROCS) and, when n > 1, switches the numerical solvers to their
-// parallel Jacobi kernels with n goroutines.
+// WithWorkers sets the worker count of the refinement engine and of
+// sharded product generation (0 = GOMAXPROCS) and, when n > 1, switches
+// the numerical solvers to their parallel Jacobi kernels with n
+// goroutines.
 func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithMaxStates bounds state-space generation; exceeding it yields an

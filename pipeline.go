@@ -271,7 +271,10 @@ func (p *Pipeline) compose(ctx context.Context, functional []pipeStep) (*lts.LTS
 		Sync:       p.syncGates,
 		MaxStates:  opts.MaxStates,
 	}
-	return n.GenerateCtx(ctx, opts.Progress)
+	// Generation itself is sharded across the engine's workers (the
+	// sharded product is state-for-state identical to the sequential
+	// one, so worker count never changes a pipeline's result).
+	return n.GenerateOpt(ctx, compose.GenOptions{Workers: opts.Workers, Progress: opts.Progress})
 }
 
 // Model runs the pipeline's functional part and returns the resulting

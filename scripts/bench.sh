@@ -1,17 +1,19 @@
 #!/bin/sh
 # Benchmark trajectory: run the solver benchmarks (CSR sweep kernels,
-# parallel Jacobi, policy-iteration bounds) plus the serving benchmarks
-# (cold solve vs content-addressed cache hit over HTTP) with a
-# benchstat-friendly repeat count, keep the raw `go test` output for
-# `benchstat old.txt new.txt` comparisons, and write a compact
-# BENCH_PR4.json summary so future PRs have a perf trajectory to diff
-# against. Run via `make bench-solver`; tune with COUNT/BENCH/OUT_*.
+# parallel Jacobi, policy-iteration bounds), the serving benchmarks
+# (cold solve vs content-addressed cache hit over HTTP), and the
+# composition benchmarks (sequential vs hash-sharded generation of the
+# ~100k-state product) with a benchstat-friendly repeat count, keep the
+# raw `go test` output for `benchstat old.txt new.txt` comparisons, and
+# write a compact BENCH_PR5.json summary so future PRs have a perf
+# trajectory to diff against. Run via `make bench-solver`; tune with
+# COUNT/BENCH/OUT_*.
 set -eu
 
 COUNT="${COUNT:-6}"
-BENCH="${BENCH:-SteadyStateLargeChain|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve}"
-OUT_TXT="${OUT_TXT:-BENCH_PR4.txt}"
-OUT_JSON="${OUT_JSON:-BENCH_PR4.json}"
+BENCH="${BENCH:-SteadyStateLargeChain|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve|ComposeSeq100k|ComposeParallel100k}"
+OUT_TXT="${OUT_TXT:-BENCH_PR5.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR5.json}"
 
 echo "bench: running [$BENCH] x$COUNT"
 go test -run XXX -bench "$BENCH" -benchtime 1x -count "$COUNT" . ./internal/serve | tee "$OUT_TXT"

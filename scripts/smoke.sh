@@ -20,6 +20,11 @@ echo "smoke: generate"
 "$tmp/bin/generate" -lotos "$tmp/buf.lotos" -o "$tmp/buf.aut"
 test -s "$tmp/buf.aut"
 
+echo "smoke: compose (sharded product == component in lockstep)"
+"$tmp/bin/compose" -sync put,get -workers 3 -o "$tmp/lockstep.aut" "$tmp/buf.aut" "$tmp/buf.aut"
+test -s "$tmp/lockstep.aut"
+"$tmp/bin/compare" -rel strong "$tmp/lockstep.aut" "$tmp/buf.aut" | grep -q TRUE
+
 echo "smoke: reduce"
 "$tmp/bin/reduce" -rel branching -workers 2 -timeout 30s -o "$tmp/buf.min.aut" "$tmp/buf.aut"
 test -s "$tmp/buf.min.aut"
