@@ -33,11 +33,14 @@ bench-engine:
 	$(GO) test -run XXX -bench 'ComposeMinimize|Partition50k' -benchtime 3x .
 
 # The solver + serving + composition trajectory: 100k-state steady
-# state (CSR kernel vs the closure reference vs parallel Jacobi),
-# multi-BSCC absorption, parallel uniformization, policy-iteration
-# throughput bounds, the server's cold-solve vs cache-hit request
-# latency, and sequential vs sharded generation of the ~100k-state
-# product, repeated for benchstat and summarized into BENCH_PR5.json.
+# state (CSR kernel vs the closure reference vs parallel Jacobi vs
+# forced GS/BiCGSTAB), multi-BSCC absorption via the adjoint SCC-block
+# solver, parallel uniformization, policy-iteration throughput bounds,
+# the server's cold-solve vs cache-hit request latency, and sequential
+# vs sharded generation of the ~100k-state product, repeated for
+# benchstat and summarized into BENCH_PR6.json. Pass a previous summary
+# through `./scripts/bench.sh --compare BENCH_PR5.json` for a delta
+# table.
 bench-solver:
 	./scripts/bench.sh
 

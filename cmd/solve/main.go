@@ -30,15 +30,20 @@ func main() {
 	var rates cli.RateFlag
 	flag.Var(&rates, "rate", "gate=rate (repeatable)")
 	var (
-		markers  = flag.String("marker", "", "comma-separated gates whose throughput to report")
-		uniform  = flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
-		at       = flag.Float64("at", -1, "solve the transient distribution at this time instead of the steady state")
-		bounds   = flag.String("bounds", "", "comma-separated labels whose throughput to bound over all deterministic schedulers (policy iteration)")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON in the serve wire format")
+		markers = flag.String("marker", "", "comma-separated gates whose throughput to report")
+		uniform = flag.Bool("uniform-scheduler", false, "resolve nondeterminism uniformly instead of rejecting it")
+		at      = flag.Float64("at", -1, "solve the transient distribution at this time instead of the steady state")
+		bounds  = flag.String("bounds", "", "comma-separated labels whose throughput to bound over all deterministic schedulers (policy iteration)")
+		jsonOut = flag.Bool("json", false, "emit the result as JSON in the serve wire format")
+		method  = flag.String("method", "auto", "linear-solver kernel: auto, gs, jacobi or bicgstab")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || len(rates.Rates) == 0 {
-		c.Usage("solve -rate gate=RATE [...] [-marker g1,g2] [-uniform-scheduler] [-at T] [-bounds l1,l2] [-json] [-timeout D] model.aut")
+		c.Usage("solve -rate gate=RATE [...] [-marker g1,g2] [-uniform-scheduler] [-at T] [-bounds l1,l2] [-method M] [-json] [-timeout D] model.aut")
+	}
+	solverMethod, err := multival.ParseMethod(*method)
+	if err != nil {
+		c.Fatal(2, err)
 	}
 
 	l, err := cli.LoadLTS(flag.Arg(0))
@@ -49,6 +54,7 @@ func main() {
 	defer cancel()
 
 	var extra []multival.Option
+	extra = append(extra, multival.WithMethod(solverMethod))
 	if *uniform {
 		extra = append(extra, multival.WithScheduler(multival.UniformScheduler{}))
 	}

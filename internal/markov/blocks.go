@@ -1,0 +1,513 @@
+// SCC-topological block solvers. The legacy absorption and
+// first-passage paths (steady.go) iterate global fixed-point sweeps over
+// the whole state space until the slowest component converges. The block
+// path here decomposes the chain into strongly connected components once
+// (sparse.SCCs, reverse topological order), then solves each component's
+// linear system in isolation: by the time a component is visited, every
+// state it can reach outside itself is already solved, so its
+// contribution moves to the right-hand side and the component system is
+// small, nonsingular and diagonally dominant. Each block is solved by
+// the method the options select (BiCGSTAB for large blocks, Gauss–Seidel
+// for small under auto), with damped-Jacobi fallback on Krylov
+// breakdown. One scratch set is reused across all blocks of a solve.
+package markov
+
+import (
+	"math"
+
+	"multival/internal/engine"
+	"multival/internal/sparse"
+)
+
+// blockScratch reuses every allocation of a block-structured solve
+// across blocks and systems: the Krylov work vectors plus the compacted
+// right-hand side, solution, sweep double-buffer and skip mask of the
+// current block. The zero value is ready; buffers grow to the largest
+// block seen.
+type blockScratch struct {
+	ks   sparse.KrylovScratch
+	x    []float64
+	rhs  []float64
+	diag []float64
+	next []float64
+	skip []bool
+	mi   []int
+}
+
+// grow sizes the per-block buffers for a block of n states and returns
+// them (x, rhs, diag, next, skip). skip is always all-false: the block
+// systems compact boundary states away instead of masking them.
+func (bs *blockScratch) grow(n int) (x, rhs, diag, next []float64, skip []bool) {
+	if cap(bs.x) < n {
+		bs.x = make([]float64, n)
+		bs.rhs = make([]float64, n)
+		bs.diag = make([]float64, n)
+		bs.next = make([]float64, n)
+		bs.skip = make([]bool, n)
+	}
+	return bs.x[:n], bs.rhs[:n], bs.diag[:n], bs.next[:n], bs.skip[:n]
+}
+
+// members widens an SCC member list to the []int form Submatrix takes,
+// reusing one buffer.
+func (bs *blockScratch) members(comp []int32) []int {
+	if cap(bs.mi) < len(comp) {
+		bs.mi = make([]int, len(comp))
+	}
+	mi := bs.mi[:len(comp)]
+	for i, s := range comp {
+		mi[i] = int(s)
+	}
+	return mi
+}
+
+// solveBlock solves the hitting-type system (diag − sub) x = rhs for one
+// block, dispatching on the options' method for the block size: BiCGSTAB
+// (falling back to damped Jacobi sweeps on breakdown or stall) or
+// Gauss–Seidel sweeps. x carries the initial guess in and the solution
+// out. opts must already have defaults applied.
+func solveBlock(sub *sparse.Matrix, diag, rhs, x []float64, stage string, opts SolveOptions, bs *blockScratch) error {
+	n := len(x)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	method := opts.blockMethod(n)
+	fallback := ""
+	useJacobi := false
+	if method == MethodBiCGSTAB {
+		probe := func(iter int, res float64) error {
+			if err := opts.canceled(stage, iter); err != nil {
+				return err
+			}
+			if iter%progressEvery == 0 {
+				opts.Progress.Report(engine.Progress{Stage: stage, States: n, Round: iter, Residual: res})
+			}
+			return nil
+		}
+		st, _, _, err := sparse.BiCGSTAB(sub, diag, rhs, x, opts.Tolerance, krylovMaxIter(opts, n), workers, &bs.ks, probe)
+		if err != nil {
+			return err
+		}
+		if st == sparse.KrylovConverged {
+			return nil
+		}
+		// Breakdown or stall: restart the semiconvergent damped-Jacobi
+		// sweeps from a zero guess (the partial Krylov iterate may be
+		// arbitrarily far off after a breakdown).
+		nFallbackKrylovJacobi.Add(1)
+		fallback = string(MethodJacobi)
+		useJacobi = true
+		for i := range x {
+			x[i] = 0
+		}
+	}
+
+	skip := bs.skip[:n]
+	cur, next := x, bs.next[:n]
+	residual := math.Inf(1)
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := opts.canceled(stage, iter); err != nil {
+			return err
+		}
+		if useJacobi {
+			residual = sparse.HittingSweepJacobi(sub, skip, rhs, diag, cur, next, workers)
+			cur, next = next, cur
+		} else {
+			residual = sparse.HittingSweepGS(sub, skip, rhs, diag, cur)
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: stage, States: n, Round: iter, Residual: residual})
+		}
+		if residual < opts.Tolerance {
+			if &cur[0] != &x[0] {
+				copy(x, cur)
+			}
+			return nil
+		}
+	}
+	return &ConvergenceError{Iterations: opts.MaxIterations, Residual: residual, Method: string(method), Fallback: fallback}
+}
+
+// absorptionBlocks computes the per-BSCC absorption probabilities from
+// the initial state by solving ONE adjoint system instead of one
+// hitting system per BSCC. The expected-visits vector y solves the
+// transposed system
+//
+//	(diag(E) − T)ᵀ y = e_init   over transient states,
+//
+// so y[s] = e_initᵀ(diag(E)−T)⁻¹e_s and the absorption probability into
+// BSCC bi is the single inner product yᵀr_bi, where r_bi[s] = Σ_{d∈bi}
+// rate(s→d) — all k weights fall out of the same solve. comps/compOf is
+// the SCCs() decomposition of the rate matrix and bsccs its bottoms.
+// Components are in reverse topological order (cross-component edges
+// point to lower indices), which TRANSPOSED edges traverse upward — so
+// the adjoint blocks are solved descending from the initial state's
+// component, and reachability from the initial state settles in the
+// same descending pass (unreachable components keep y = 0 and are
+// skipped).
+func (c *CTMC) absorptionBlocks(bsccs [][]int, comps [][]int32, compOf []int32, opts SolveOptions) ([]float64, error) {
+	n := c.numStates
+	k := len(bsccs)
+	weights := make([]float64, k)
+	inBSCC := make([]int, n)
+	for i := range inBSCC {
+		inBSCC[i] = -1
+	}
+	for bi, members := range bsccs {
+		for _, s := range members {
+			inBSCC[s] = bi
+		}
+	}
+	if b := inBSCC[c.initial]; b >= 0 {
+		weights[b] = 1
+		return weights, nil
+	}
+	mat := c.matrix()
+	tin := c.incoming()
+	isBottom := make([]bool, len(comps))
+	for _, members := range bsccs {
+		isBottom[compOf[members[0]]] = true
+	}
+	ci0 := int(compOf[c.initial])
+	reach := make([]bool, len(comps))
+	reach[ci0] = true
+	y := make([]float64, n)
+	var bs blockScratch
+	block := 0
+	for ci := ci0; ci >= 0; ci-- {
+		if !reach[ci] {
+			continue
+		}
+		members := comps[ci]
+		if !isBottom[ci] {
+			if len(members) == 1 {
+				// Singleton transient component (no self-loops by
+				// construction): every upstream source is already
+				// solved.
+				s := int(members[0])
+				sum := 0.0
+				if s == c.initial {
+					sum = 1
+				}
+				cols, vals := tin.Row(s)
+				for p, src := range cols {
+					sum += vals[p] * y[src]
+				}
+				y[s] = sum / c.exitRate[s]
+			} else {
+				// The block's transposed system: the in-component
+				// incoming submatrix IS the transpose of the block, and
+				// transposition preserves the diagonal, so the exit
+				// rates stay the preconditioner.
+				mi := bs.members(members)
+				subT := tin.Submatrix(mi)
+				x, rhs, diag, _, _ := bs.grow(len(mi))
+				for i, s := range mi {
+					diag[i] = c.exitRate[s]
+					sum := 0.0
+					if s == c.initial {
+						sum = 1
+					}
+					cols, vals := tin.Row(s)
+					for p, src := range cols {
+						if compOf[src] != int32(ci) {
+							sum += vals[p] * y[src]
+						}
+					}
+					rhs[i] = sum
+					x[i] = 0
+				}
+				if err := solveBlock(subT, diag, rhs, x, "absorb", opts, &bs); err != nil {
+					return nil, err
+				}
+				for i, s := range mi {
+					y[s] = x[i]
+				}
+			}
+			opts.Progress.Report(engine.Progress{Stage: "absorb", States: len(members), Round: block, Done: false})
+			block++
+		}
+		// Propagate reachability along the original (downward) edges;
+		// bottoms have none, so only transient components spread marks.
+		for _, s := range members {
+			cols, _ := mat.Row(int(s))
+			for _, d := range cols {
+				reach[compOf[d]] = true
+			}
+		}
+	}
+	// weights[bi] = yᵀr_bi: fold every transient state's rates into the
+	// bottoms it feeds, weighted by its expected-visits mass.
+	for ci := 0; ci <= ci0; ci++ {
+		if !reach[ci] || isBottom[ci] {
+			continue
+		}
+		for _, s32 := range comps[ci] {
+			s := int(s32)
+			ys := y[s]
+			if ys == 0 {
+				continue
+			}
+			cols, vals := mat.Row(s)
+			for p, d := range cols {
+				if bi := inBSCC[d]; bi >= 0 {
+					weights[bi] += ys * vals[p]
+				}
+			}
+		}
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			// Tiny negative Krylov residue; the true weight is ≥ 0.
+			weights[i] = 0
+			continue
+		}
+		total += w
+	}
+	if total > 0 {
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	return weights, nil
+}
+
+// stronglyConnectedAll reports whether the chain is one strongly
+// connected component: a forward BFS over the rate matrix and a backward
+// BFS over its transpose, both from state 0, must each cover every
+// state. Two flat CSR passes are far cheaper than the full Tarjan
+// decomposition they stand in for, and the transpose they touch is the
+// cached incoming view the stationary solve reads anyway.
+func (c *CTMC) stronglyConnectedAll() bool {
+	n := c.numStates
+	if n == 1 {
+		return true
+	}
+	return coversAll(c.matrix(), n) && coversAll(c.incoming(), n)
+}
+
+// coversAll reports whether a depth-first sweep from state 0 over m
+// visits all n states.
+func coversAll(m *sparse.Matrix, n int) bool {
+	seen := make([]bool, n)
+	seen[0] = true
+	count := 1
+	stack := make([]int32, 1, 64)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cols, _ := m.Row(int(s))
+		for _, d := range cols {
+			if !seen[d] {
+				seen[d] = true
+				count++
+				stack = append(stack, d)
+			}
+		}
+	}
+	return count == n
+}
+
+// hittingBlocks solves the expected-time-to-absorption system
+// block-by-block over the SCC decomposition: h[s] = (1 + Σ rate(s→d)
+// h[d]) / E_s on non-targets, 0 on targets. Reachability of the targets
+// from every state has already been verified by the caller, so every
+// block system leaks (toward a target or an earlier component) and is
+// nonsingular.
+func (c *CTMC) hittingBlocks(isTarget []bool, opts SolveOptions) ([]float64, error) {
+	n := c.numStates
+	mat := c.matrix()
+	comps, compOf := mat.SCCs()
+	h := make([]float64, n)
+	var bs blockScratch
+	free := make([]int, 0, 64)
+	block := 0
+	for ci := range comps {
+		members := comps[ci]
+		free = free[:0]
+		for _, s := range members {
+			if !isTarget[int(s)] {
+				free = append(free, int(s))
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		if len(free) == 1 && len(members) == 1 {
+			s := free[0]
+			cols, vals := mat.Row(s)
+			sum := 1.0
+			for p, d := range cols {
+				sum += vals[p] * h[d]
+			}
+			h[s] = sum / c.exitRate[s]
+		} else {
+			sub := mat.Submatrix(free)
+			x, rhs, diag, _, _ := bs.grow(len(free))
+			for i, s := range free {
+				diag[i] = c.exitRate[s]
+				sum := 1.0
+				cols, vals := mat.Row(s)
+				for p, d := range cols {
+					// In-component targets contribute h = 0 and are
+					// compacted away; everything out of component is
+					// already solved.
+					if compOf[d] != int32(ci) {
+						sum += vals[p] * h[d]
+					}
+				}
+				rhs[i] = sum
+				x[i] = 0
+			}
+			if err := solveBlock(sub, diag, rhs, x, "fpt", opts, &bs); err != nil {
+				return nil, err
+			}
+			for i, s := range free {
+				h[s] = x[i]
+			}
+		}
+		opts.Progress.Report(engine.Progress{Stage: "fpt", States: len(free), Round: block})
+		block++
+	}
+	return h, nil
+}
+
+// stationaryKrylov attempts the BSCC stationary solve by rank-one
+// deflation + BiCGSTAB: pinning the first local state's unnormalized
+// probability at 1 turns the singular balance system into the
+// nonsingular column-dominant system
+//
+//	(diag(exit) − tin′) x = tin·e₀   restricted to locals 1..m−1,
+//
+// whose solution is x_j = pi_j/pi_0; the result is normalized to a
+// distribution. Returns ok=false (after counting the fallback) when the
+// kernel breaks down, stalls, or produces a solution with meaningfully
+// negative entries — the caller then runs the sweep path.
+func stationaryKrylov(sub, tin *sparse.Matrix, exit []float64, opts SolveOptions, bs *blockScratch) (pi []float64, ok bool, err error) {
+	m := sub.N()
+	rest := make([]int, m-1)
+	for i := range rest {
+		rest[i] = i + 1
+	}
+	tinD := tin.Submatrix(rest)
+	x, rhs, diag, _, _ := bs.grow(m - 1)
+	for j := 1; j < m; j++ {
+		diag[j-1] = exit[j]
+		rhs[j-1] = 0
+		x[j-1] = 1
+	}
+	cols, vals := sub.Row(0)
+	for p, cl := range cols {
+		rhs[cl-1] += vals[p]
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	probe := func(iter int, res float64) error {
+		if perr := opts.canceled("steady", iter); perr != nil {
+			return perr
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: "steady", States: m, Round: iter, Residual: res})
+		}
+		return nil
+	}
+	st, _, _, err := sparse.BiCGSTAB(tinD, diag, rhs, x, opts.Tolerance, krylovMaxIter(opts, m-1), workers, &bs.ks, probe)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != sparse.KrylovConverged {
+		nFallbackKrylovJacobi.Add(1)
+		return nil, false, nil
+	}
+	scale := 1.0
+	for _, v := range x {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	pi = make([]float64, m)
+	pi[0] = 1
+	total := 1.0
+	for j := 1; j < m; j++ {
+		v := x[j-1]
+		if v < 0 {
+			if v < -1e-9*scale {
+				// A genuinely negative ratio means the solve is
+				// unreliable (ill-conditioned deflation); fall back.
+				nFallbackKrylovJacobi.Add(1)
+				return nil, false, nil
+			}
+			v = 0
+		}
+		pi[j] = v
+		total += v
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		nFallbackKrylovJacobi.Add(1)
+		return nil, false, nil
+	}
+	for j := range pi {
+		pi[j] /= total
+	}
+	return pi, true, nil
+}
+
+// biasKrylov attempts the Poisson equation by the same deflation:
+// pinning h at 0 on one recurrent reference state makes the system over
+// the remaining states nonsingular (the chain is unichain with no
+// absorbing states when this path runs), so one Krylov solve replaces
+// the damped sweep iteration. The result is shifted to the h[initial]=0
+// convention of the sweep path. Returns ok=false after counting the
+// fallback when the kernel does not converge.
+func (c *CTMC) biasKrylov(reward []float64, gain float64, ref int, opts SolveOptions) (h []float64, ok bool, err error) {
+	n := c.numStates
+	mat := c.matrix()
+	var bs blockScratch
+	free := make([]int, 0, n-1)
+	for s := 0; s < n; s++ {
+		if s != ref {
+			free = append(free, s)
+		}
+	}
+	sub := mat.Submatrix(free)
+	x, rhs, diag, _, _ := bs.grow(n - 1)
+	for i, s := range free {
+		diag[i] = c.exitRate[s]
+		rhs[i] = reward[s] - gain
+		x[i] = 0
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	probe := func(iter int, res float64) error {
+		if perr := opts.canceled("bias", iter); perr != nil {
+			return perr
+		}
+		if iter%progressEvery == 0 {
+			opts.Progress.Report(engine.Progress{Stage: "bias", States: n, Round: iter, Residual: res})
+		}
+		return nil
+	}
+	st, _, _, err := sparse.BiCGSTAB(sub, diag, rhs, x, opts.Tolerance, krylovMaxIter(opts, n-1), workers, &bs.ks, probe)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != sparse.KrylovConverged {
+		nFallbackKrylovJacobi.Add(1)
+		return nil, false, nil
+	}
+	h = make([]float64, n)
+	for i, s := range free {
+		h[s] = x[i]
+	}
+	shift := h[c.initial]
+	for s := range h {
+		h[s] -= shift
+	}
+	return h, true, nil
+}

@@ -1,0 +1,374 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseStationary solves the stationary distribution by Gaussian
+// elimination on the full balance system (last equation replaced by the
+// normalization), the enumerative reference for the iterative methods.
+// Only valid for irreducible chains.
+func denseStationary(t *testing.T, c *CTMC) []float64 {
+	t.Helper()
+	n := c.NumStates()
+	a := make([][]float64, n)
+	for j := range a {
+		a[j] = make([]float64, n+1)
+	}
+	// Equation j: sum_i pi_i rate(i->j) - pi_j exit_j = 0.
+	c.EachTransition(func(tr Transition) {
+		a[tr.Dst][tr.Src] += tr.Rate
+	})
+	for j := 0; j < n; j++ {
+		a[j][j] -= c.ExitRate(j)
+	}
+	for i := 0; i < n; i++ {
+		a[n-1][i] = 1
+	}
+	a[n-1][n] = 1
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if a[col][col] == 0 {
+			t.Fatal("singular dense stationary system")
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * pi[k]
+		}
+		pi[r] = sum / a[r][r]
+	}
+	return pi
+}
+
+func maxDiff(a, b []float64) float64 {
+	max := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TestQuickMethodsAgreeOnStationary: BiCGSTAB == GS == enumerative
+// closure on random irreducible CTMCs.
+func TestQuickMethodsAgreeOnStationary(t *testing.T) {
+	prop := func(r randChain) bool {
+		ref := denseStationary(t, r.C)
+		for _, m := range []Method{MethodGS, MethodAuto, MethodBiCGSTAB, MethodJacobi} {
+			pi, err := r.C.SteadyState(SolveOptions{Method: m})
+			if err != nil {
+				t.Logf("method %s: %v", m, err)
+				return false
+			}
+			if d := maxDiff(pi, ref); d > 1e-8 {
+				t.Logf("method %s diverges from dense reference by %g", m, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qcfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMethodsAgreeOnStiffChains spreads rates across six orders of
+// magnitude; the Krylov path must agree with the sweep reference (or
+// fall back) without losing the distribution.
+func TestMethodsAgreeOnStiffChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(40)
+		c := NewCTMC(n)
+		for i := 0; i < n; i++ {
+			c.MustAdd(i, (i+1)%n, math.Pow(10, 3-6*rng.Float64()), "")
+		}
+		for e := 0; e < n; e++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src != dst {
+				c.MustAdd(src, dst, math.Pow(10, 3-6*rng.Float64()), "")
+			}
+		}
+		gs, err := c.SteadyState(SolveOptions{Method: MethodGS})
+		if err != nil {
+			t.Fatalf("trial %d gs: %v", trial, err)
+		}
+		kr, err := c.SteadyState(SolveOptions{Method: MethodBiCGSTAB})
+		if err != nil {
+			t.Fatalf("trial %d bicgstab: %v", trial, err)
+		}
+		for i := range gs {
+			if d := math.Abs(gs[i] - kr[i]); d > 1e-7*(1+gs[i]) {
+				t.Fatalf("trial %d state %d: gs %g vs bicgstab %g", trial, i, gs[i], kr[i])
+			}
+		}
+	}
+}
+
+// TestBiCGSTABOnPeriodicRing: a pure cycle oriented against the sweep
+// order is the classic stagnation case for Gauss–Seidel and a periodic
+// (hence hard) operator for Krylov methods; the solve must still return
+// the uniform distribution, by kernel or by fallback.
+func TestBiCGSTABOnPeriodicRing(t *testing.T) {
+	for _, n := range []int{7, 301} {
+		c := NewCTMC(n)
+		for i := 0; i < n; i++ {
+			c.MustAdd((i+1)%n, i, 1, "")
+		}
+		pi, err := c.SteadyState(SolveOptions{Method: MethodBiCGSTAB})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, p := range pi {
+			almost(t, p, 1/float64(n), 1e-9, "periodic ring pi")
+			_ = i
+		}
+	}
+}
+
+// TestMethodsAgreeOnMultiBSCCAbsorption compares the block-structured
+// absorption path (auto / forced Krylov, sequential and parallel)
+// against the legacy global sweeps on multi-BSCC fixtures.
+func TestMethodsAgreeOnMultiBSCCAbsorption(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 15; trial++ {
+		c := randMultiBSCC(rng, 2+rng.Intn(4))
+		ref, err := c.SteadyState(SolveOptions{Method: MethodGS})
+		if err != nil {
+			t.Fatalf("trial %d gs: %v", trial, err)
+		}
+		for _, opts := range []SolveOptions{
+			{Method: MethodAuto},
+			{Method: MethodBiCGSTAB},
+			{Method: MethodBiCGSTAB, Workers: 4},
+			{Method: MethodJacobi},
+		} {
+			pi, err := c.SteadyState(opts)
+			if err != nil {
+				t.Fatalf("trial %d method %s workers %d: %v", trial, opts.Method, opts.Workers, err)
+			}
+			if d := maxDiff(pi, ref); d > 1e-8 {
+				t.Fatalf("trial %d method %s workers %d: diff %g from gs reference", trial, opts.Method, opts.Workers, d)
+			}
+		}
+	}
+}
+
+// TestHittingBlocksMatchLegacy compares the SCC-block first-passage
+// solver against the legacy global sweep on a birth-death chain and on
+// random irreducible chains.
+func TestHittingBlocksMatchLegacy(t *testing.T) {
+	chains := []*CTMC{mm1k(1.5, 2, 60)}
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(30)
+		c := NewCTMC(n)
+		for i := 0; i < n; i++ {
+			c.MustAdd(i, (i+1)%n, 0.2+4*rng.Float64(), "")
+		}
+		for e := 0; e < n; e++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src != dst {
+				c.MustAdd(src, dst, 0.2+4*rng.Float64(), "")
+			}
+		}
+		chains = append(chains, c)
+	}
+	for ci, c := range chains {
+		ref, err := c.ExpectedTimeToAbsorption([]int{0}, SolveOptions{Method: MethodGS})
+		if err != nil {
+			t.Fatalf("chain %d gs: %v", ci, err)
+		}
+		for _, m := range []Method{MethodAuto, MethodBiCGSTAB} {
+			h, err := c.ExpectedTimeToAbsorption([]int{0}, SolveOptions{Method: m})
+			if err != nil {
+				t.Fatalf("chain %d method %s: %v", ci, m, err)
+			}
+			for s := range h {
+				if d := math.Abs(h[s] - ref[s]); d > 1e-7*(1+ref[s]) {
+					t.Fatalf("chain %d method %s state %d: %g vs %g", ci, m, s, h[s], ref[s])
+				}
+			}
+		}
+	}
+}
+
+// TestBiasKrylovMatchesSweeps: the deflated Poisson solve must agree
+// with the projected damped-Jacobi iteration up to tolerance.
+func TestBiasKrylovMatchesSweeps(t *testing.T) {
+	c := mm1k(1.5, 2, 80)
+	rng := rand.New(rand.NewSource(94))
+	n := c.NumStates()
+	reward := make([]float64, n)
+	for i := range reward {
+		reward[i] = rng.Float64() * 3
+	}
+	pi, err := c.SteadyState(SolveOptions{Method: MethodGS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := ExpectedReward(pi, reward)
+	ref, err := c.Bias(reward, gain, SolveOptions{Method: MethodGS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Bias(reward, gain, SolveOptions{Method: MethodBiCGSTAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1.0
+	for _, v := range ref {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for s := range h {
+		if d := math.Abs(h[s] - ref[s]); d > 1e-6*scale {
+			t.Fatalf("state %d: bias %g vs sweep reference %g", s, h[s], ref[s])
+		}
+	}
+}
+
+// TestKrylovFallbackForcedAndCounted caps the Krylov budget at one
+// iteration so every BiCGSTAB attempt stalls: the solve must still
+// produce the right distribution through the damped-Jacobi fallback,
+// and the process-wide fallback counter must tick.
+func TestKrylovFallbackForcedAndCounted(t *testing.T) {
+	krylovIterCap = 1
+	defer func() { krylovIterCap = 0 }()
+	before := Fallbacks().BiCGSTABToJacobi
+	c := mm1k(1.5, 2, 200)
+	pi, err := c.SteadyState(SolveOptions{Method: MethodBiCGSTAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mm1kAnalytic(1.5, 2, 200)
+	for i := range pi {
+		almost(t, pi[i], want[i], 1e-8, "fallback pi")
+	}
+	if after := Fallbacks().BiCGSTABToJacobi; after <= before {
+		t.Fatalf("fallback counter did not advance: %d -> %d", before, after)
+	}
+}
+
+// TestConvergenceErrorRecordsMethodAndFallback: the error must name the
+// selected method and any fallback taken before the budget ran out.
+func TestConvergenceErrorRecordsMethodAndFallback(t *testing.T) {
+	c := mm1k(1.5, 2, 200)
+	_, err := c.SteadyState(SolveOptions{Method: MethodGS, MaxIterations: 2})
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) || ce.Method != "gs" || ce.Fallback != "" {
+		t.Fatalf("gs error = %v (%+v)", err, ce)
+	}
+
+	krylovIterCap = 1
+	defer func() { krylovIterCap = 0 }()
+	_, err = c.SteadyState(SolveOptions{Method: MethodBiCGSTAB, MaxIterations: 3})
+	if !errors.As(err, &ce) || ce.Method != "bicgstab" || ce.Fallback != "jacobi" {
+		t.Fatalf("bicgstab error = %v (%+v)", err, ce)
+	}
+}
+
+// TestParseMethodValidation: unknown names are rejected up front, both
+// by ParseMethod and by the solver entry points.
+func TestParseMethodValidation(t *testing.T) {
+	if m, err := ParseMethod(""); err != nil || m != MethodAuto {
+		t.Fatalf("ParseMethod(\"\") = %v, %v", m, err)
+	}
+	if _, err := ParseMethod("sor"); err == nil {
+		t.Fatal("ParseMethod accepted an unknown method")
+	}
+	c := mm1k(1.5, 2, 10)
+	if _, err := c.SteadyState(SolveOptions{Method: "sor"}); err == nil {
+		t.Fatal("SteadyState accepted an unknown method")
+	}
+	if _, err := c.ExpectedTimeToAbsorption([]int{0}, SolveOptions{Method: "sor"}); err == nil {
+		t.Fatal("ExpectedTimeToAbsorption accepted an unknown method")
+	}
+}
+
+// TestParallelBiCGSTABMatchesSequential drives the Krylov path with
+// Workers > 1 (the race job covers this test under -race) and checks
+// the result is bit-identical to the sequential Krylov solve — the
+// matvec is a per-row gather and all reductions are sequential.
+func TestParallelBiCGSTABMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	n := 3000
+	c := NewCTMC(n)
+	for i := 0; i < n; i++ {
+		c.MustAdd(i, (i+1)%n, 0.2+4*rng.Float64(), "")
+	}
+	for e := 0; e < 2*n; e++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src != dst {
+			c.MustAdd(src, dst, 0.2+4*rng.Float64(), "")
+		}
+	}
+	seq, err := c.SteadyState(SolveOptions{Method: MethodBiCGSTAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.SteadyState(SolveOptions{Method: MethodBiCGSTAB, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("worker count changed the Krylov result at state %d: %g vs %g", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestAutoMatchesGSBitForBitOnSmallChains: below the Krylov threshold a
+// single-BSCC auto solve runs the identical legacy code path, so the
+// results must agree to the last bit — forcing Method gs preserves
+// today's defaults exactly.
+func TestAutoMatchesGSBitForBitOnSmallChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(60)
+		c := NewCTMC(n)
+		for i := 0; i < n; i++ {
+			c.MustAdd(i, (i+1)%n, 0.2+4*rng.Float64(), "")
+		}
+		for e := 0; e < n; e++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src != dst {
+				c.MustAdd(src, dst, 0.2+4*rng.Float64(), "")
+			}
+		}
+		auto, err := c.SteadyState(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := c.SteadyState(SolveOptions{Method: MethodGS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range auto {
+			if auto[i] != gs[i] {
+				t.Fatalf("trial %d: auto and gs differ at state %d: %g vs %g", trial, i, auto[i], gs[i])
+			}
+		}
+	}
+}

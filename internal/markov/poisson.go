@@ -34,11 +34,35 @@ import (
 // g) is rejected up front with IrreducibilityError rather than letting
 // the iterate drift through the whole iteration budget.
 func (c *CTMC) Bias(reward []float64, gain float64, opts SolveOptions) ([]float64, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
 	n := c.numStates
 	c.matrix() // the bias sweep never reads the incoming view
-	if bsccs := c.bsccs(); len(bsccs) > 1 {
+	bsccs := c.bsccs()
+	if len(bsccs) > 1 {
 		return nil, &IrreducibilityError{bsccs[1][0], "is in a second bottom component (bias needs unichain structure)"}
+	}
+	// Krylov path: when the chain has no absorbing boundary (the usual
+	// unichain case), pinning h at one recurrent reference state makes
+	// the Poisson system nonsingular and one deflated BiCGSTAB solve
+	// replaces the damped sweeps. With an absorbing boundary the legacy
+	// projection semantics (absorbing states pinned at 0) differ from
+	// the deflated system, so the sweep path keeps that case.
+	krylovFell := false
+	if !opts.legacy() && opts.blockMethod(n-1) == MethodBiCGSTAB && n > 1 {
+		ref := bsccs[0][0]
+		if c.exitRate[ref] > 0 {
+			h, ok, err := c.biasKrylov(reward, gain, ref, opts)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return h, nil
+			}
+			krylovFell = true
+		}
 	}
 	mat := c.matrix()
 	skip := make([]bool, n)
@@ -82,5 +106,10 @@ func (c *CTMC) Bias(reward []float64, gain float64, opts SolveOptions) ([]float6
 			return h, nil
 		}
 	}
-	return nil, &ConvergenceError{opts.MaxIterations, residual}
+	ce := &ConvergenceError{Iterations: opts.MaxIterations, Residual: residual, Method: string(MethodJacobi)}
+	if krylovFell {
+		ce.Method = string(MethodBiCGSTAB)
+		ce.Fallback = string(MethodJacobi)
+	}
+	return nil, ce
 }

@@ -539,11 +539,12 @@ type ArtifactTotals struct {
 
 // StatsBody is the response of GET /v1/stats.
 type StatsBody struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Queue         QueueStats     `json:"queue"`
-	Cache         CacheStats     `json:"cache"`
-	Models        CacheStats     `json:"models"`
-	Artifacts     ArtifactTotals `json:"artifacts"`
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Queue         QueueStats               `json:"queue"`
+	Cache         CacheStats               `json:"cache"`
+	Models        CacheStats               `json:"models"`
+	Artifacts     ArtifactTotals           `json:"artifacts"`
+	Solver        multival.SolverFallbacks `json:"solver"`
 }
 
 // Stats assembles the current service counters.
@@ -553,6 +554,7 @@ func (s *Server) Stats() StatsBody {
 		Queue:         s.queue.Stats(),
 		Cache:         s.cache.Stats(),
 		Models:        s.models.Stats(),
+		Solver:        multival.SolverFallbackStats(),
 	}
 	s.cache.Each(func(_ string, v any) {
 		pm, ok := v.(*multival.PerfModel)

@@ -444,3 +444,32 @@ func TestServePanicStructured500(t *testing.T) {
 		t.Fatalf("queue stats %+v; want exactly one recorded panic", st.Queue)
 	}
 }
+
+// TestStatsSurfacesSolverFallbacks: GET /v1/stats carries the
+// process-wide solver fallback counters on the wire, so a chain family
+// that starts breaking the Krylov kernel is observable.
+func TestStatsSurfacesSolverFallbacks(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	solver, ok := raw["solver"]
+	if !ok {
+		t.Fatalf("stats body has no solver section: %v", raw)
+	}
+	var counters map[string]int64
+	if err := json.Unmarshal(solver, &counters); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"gs_to_jacobi", "bicgstab_to_jacobi"} {
+		if _, ok := counters[key]; !ok {
+			t.Fatalf("solver section missing %q: %s", key, solver)
+		}
+	}
+}

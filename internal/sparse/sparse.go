@@ -198,15 +198,34 @@ func (m *Matrix) AddApplyT(x, y []float64, scale float64) {
 	}
 }
 
+// SCCs returns the strongly connected components of the matrix viewed as
+// a directed graph (an edge per stored entry), straight from the shared
+// iterative Tarjan engine (internal/scc) iterating over CSR rows:
+// components in reverse topological order (every edge leaving a
+// component points into a component returned earlier), members ascending,
+// compOf mapping every state to its component index. The block-sweep
+// solvers process this order directly — a component's successors are
+// always solved before the component itself.
+func (m *Matrix) SCCs() (comps [][]int32, compOf []int32) {
+	return scc.Strong(m.n, func(s int32) []int32 {
+		return m.col[m.rowOff[s]:m.rowOff[s+1]]
+	})
+}
+
 // BottomSCCs returns the bottom strongly connected components of the
 // matrix viewed as a directed graph (an edge per stored entry): the SCCs
 // with no entry leaving the component. Each component lists its states in
-// ascending order. The SCCs come from the shared iterative Tarjan engine
-// (internal/scc) iterating directly over CSR rows.
+// ascending order.
 func (m *Matrix) BottomSCCs() [][]int {
-	comps, compOf := scc.Strong(m.n, func(s int32) []int32 {
-		return m.col[m.rowOff[s]:m.rowOff[s+1]]
-	})
+	comps, compOf := m.SCCs()
+	return m.BottomsOf(comps, compOf)
+}
+
+// BottomsOf filters an SCCs() decomposition of this matrix down to its
+// bottom components (widened to []int members), preserving the SCCs()
+// component order. Callers that need both the full decomposition and the
+// bottoms — the block-sweep solvers — avoid running Tarjan twice.
+func (m *Matrix) BottomsOf(comps [][]int32, compOf []int32) [][]int {
 	var bottom [][]int
 	for id, members := range comps {
 		isBottom := true

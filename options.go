@@ -55,6 +55,12 @@ type Options struct {
 	MaxIterations int
 	// Progress, when non-nil, observes every long-running operation.
 	Progress ProgressFunc
+	// Method selects the linear-solver kernel family of the numerical
+	// analyses: "auto" (or empty) picks BiCGSTAB for large systems and
+	// Gauss–Seidel for small ones over SCC-topological block solves;
+	// "gs" and "jacobi" force the legacy global sweep paths; "bicgstab"
+	// forces the Krylov kernel everywhere. Validate with ParseMethod.
+	Method string
 }
 
 // Option mutates Options; pass them to NewEngine.
@@ -83,6 +89,10 @@ func WithMaxIterations(n int) Option { return func(o *Options) { o.MaxIterations
 // for concurrent use: pipeline stages may report from several goroutines.
 func WithProgress(f ProgressFunc) Option { return func(o *Options) { o.Progress = f } }
 
+// WithMethod selects the linear-solver kernel family ("auto", "gs",
+// "jacobi", "bicgstab"); see Options.Method and ParseMethod.
+func WithMethod(m string) Option { return func(o *Options) { o.Method = m } }
+
 // bisim converts the facade options into refinement-engine options.
 func (o Options) bisim() bisim.Options {
 	return bisim.Options{Workers: o.Workers, Progress: o.Progress}
@@ -101,5 +111,6 @@ func (o Options) solve() markov.SolveOptions {
 		MaxIterations: o.MaxIterations,
 		Workers:       o.Workers,
 		Progress:      o.Progress,
+		Method:        markov.Method(o.Method),
 	}
 }

@@ -1,19 +1,30 @@
 #!/bin/sh
 # Benchmark trajectory: run the solver benchmarks (CSR sweep kernels,
-# parallel Jacobi, policy-iteration bounds), the serving benchmarks
-# (cold solve vs content-addressed cache hit over HTTP), and the
-# composition benchmarks (sequential vs hash-sharded generation of the
-# ~100k-state product) with a benchstat-friendly repeat count, keep the
-# raw `go test` output for `benchstat old.txt new.txt` comparisons, and
-# write a compact BENCH_PR5.json summary so future PRs have a perf
-# trajectory to diff against. Run via `make bench-solver`; tune with
-# COUNT/BENCH/OUT_*.
+# Krylov vs sweep method forcing, SCC-block absorption, policy-iteration
+# bounds), the serving benchmarks (cold solve vs content-addressed cache
+# hit over HTTP), and the composition benchmarks (sequential vs
+# hash-sharded generation of the ~100k-state product) with a
+# benchstat-friendly repeat count, keep the raw `go test` output for
+# `benchstat old.txt new.txt` comparisons, and write a compact
+# BENCH_PR6.json summary so future PRs have a perf trajectory to diff
+# against. Run via `make bench-solver`; tune with COUNT/BENCH/OUT_*.
+#
+#   scripts/bench.sh --compare BENCH_PR5.json
+#
+# additionally prints a per-benchmark delta table (mean vs mean) against
+# a previous summary after the run.
 set -eu
 
+COMPARE=""
+if [ "${1:-}" = "--compare" ]; then
+    COMPARE="${2:?usage: bench.sh --compare PREV.json}"
+    shift 2
+fi
+
 COUNT="${COUNT:-6}"
-BENCH="${BENCH:-SteadyStateLargeChain|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve|ComposeSeq100k|ComposeParallel100k}"
-OUT_TXT="${OUT_TXT:-BENCH_PR5.txt}"
-OUT_JSON="${OUT_JSON:-BENCH_PR5.json}"
+BENCH="${BENCH:-SteadyStateLargeChain|SteadyStateLargeChainGS|SteadyStateLargeChainBiCGSTAB|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve|ComposeSeq100k|ComposeParallel100k}"
+OUT_TXT="${OUT_TXT:-BENCH_PR6.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR6.json}"
 
 echo "bench: running [$BENCH] x$COUNT"
 go test -run XXX -bench "$BENCH" -benchtime 1x -count "$COUNT" . ./internal/serve | tee "$OUT_TXT"
@@ -37,3 +48,35 @@ END {
 ' "$OUT_TXT" > "$OUT_JSON"
 
 echo "bench: wrote $OUT_TXT (benchstat) and $OUT_JSON (summary)"
+
+if [ -n "$COMPARE" ]; then
+    echo "bench: delta vs $COMPARE (negative = faster now)"
+    awk -v oldf="$COMPARE" '
+    function grab(line,   name, mean) {
+        # One benchmark object per line in the summary format.
+        if (match(line, /"name": "[^"]*"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"mean_ns_per_op": [0-9.]+/))
+                return name SUBSEP substr(line, RSTART + 18, RLENGTH - 18)
+        }
+        return ""
+    }
+    BEGIN {
+        while ((getline line < oldf) > 0) {
+            kv = grab(line)
+            if (kv != "") { split(kv, a, SUBSEP); old[a[1]] = a[2] + 0 }
+        }
+        close(oldf)
+    }
+    {
+        kv = grab($0)
+        if (kv == "") next
+        split(kv, a, SUBSEP); name = a[1]; mean = a[2] + 0
+        if (name in old && old[name] > 0)
+            printf "  %-44s %12.1fms -> %10.1fms  %+7.1f%%\n", \
+                name, old[name] / 1e6, mean / 1e6, 100 * (mean - old[name]) / old[name]
+        else
+            printf "  %-44s %25s -> %10.1fms      new\n", name, "", mean / 1e6
+    }
+    ' "$OUT_JSON"
+fi
