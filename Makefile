@@ -17,7 +17,7 @@ vet:
 # sweep kernels, the solvers sharding them across workers, and the
 # serving layer (queue workers + singleflight cache).
 race:
-	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep
 
 # One tiny pipeline through every CLI binary; flag regressions fail here.
 smoke:

@@ -312,3 +312,109 @@ func TestCLIEvaluateJSON(t *testing.T) {
 		t.Fatalf("failing evaluate -json output: %s", out)
 	}
 }
+
+// TestCLISweepJSON: a small grid end-to-end through cmd/sweep with the
+// JSON schema locked — field renames in the sweep wire format break this
+// test, as clients depend on them.
+func TestCLISweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := runTool(t, true, "sweep", "-family", "xstream",
+		"-p", "capacity=2", "-grid", "mu=1,2", "-grid", "lambda=0.5,1.5", "-json")
+	var resp struct {
+		Family         string `json:"family"`
+		GridPoints     int    `json:"grid_points"`
+		Completed      int    `json:"completed"`
+		Failed         int    `json:"failed"`
+		DistinctModels int    `json:"distinct_models"`
+		Builds         struct {
+			Family     int `json:"family"`
+			Functional int `json:"functional"`
+			Perf       int `json:"perf"`
+			Measure    int `json:"measure"`
+		} `json:"builds"`
+		Results []struct {
+			Index  int            `json:"index"`
+			Point  map[string]any `json:"point"`
+			Result *struct {
+				Kind        string             `json:"kind"`
+				Throughputs map[string]float64 `json:"throughputs"`
+			} `json:"result"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("sweep -json output is not JSON: %v\n%s", err, out)
+	}
+	if resp.Family != "xstream" || resp.GridPoints != 4 || resp.Completed != 4 || resp.Failed != 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	// One structural configuration; lambda and mu are rate parameters,
+	// so the model and composition layers are shared across the grid.
+	if resp.DistinctModels != 1 || resp.Builds.Family != 1 || resp.Builds.Functional != 1 {
+		t.Fatalf("sharing evidence = %+v", resp)
+	}
+	if resp.Builds.Measure != 4 {
+		t.Fatalf("measure builds = %d, want one per point", resp.Builds.Measure)
+	}
+	for i, r := range resp.Results {
+		if r.Index != i || r.Result == nil || r.Result.Kind != "steady" {
+			t.Fatalf("results[%d] = %+v", i, r)
+		}
+		if len(r.Point) != 2 || r.Point["mu"] == nil || r.Point["lambda"] == nil {
+			t.Fatalf("results[%d].point = %v", i, r.Point)
+		}
+		if len(r.Result.Throughputs) == 0 {
+			t.Fatalf("results[%d] has no throughputs", i)
+		}
+	}
+	// A bad grid is a usage error: exit 2 before any solving.
+	runTool(t, false, "sweep", "-family", "xstream", "-grid", "bogus=1")
+	// -list names every registered family.
+	out = runTool(t, true, "sweep", "-list")
+	for _, fam := range []string{"chp", "fame", "faust", "lotos", "xstream"} {
+		if !strings.Contains(out, fam+"\n") {
+			t.Fatalf("sweep -list misses %s:\n%s", fam, out)
+		}
+	}
+}
+
+// TestCLIEvaluateFit: phase-type fitting from a sample file, with the
+// rates spelled as sweep-usable parameters.
+func TestCLIEvaluateFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	dir := t.TempDir()
+	samples := filepath.Join(dir, "samples.txt")
+	if err := os.WriteFile(samples, []byte("1.0 1.0 1.0 1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, true, "evaluate", "-fit", "-json", samples)
+	var res struct {
+		N      int                `json:"n"`
+		Mean   float64            `json:"mean"`
+		Phases int                `json:"phases"`
+		Params map[string]float64 `json:"params"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("evaluate -fit -json output is not JSON: %v\n%s", err, out)
+	}
+	// Zero variance: the fixed-delay Erlang with mean preserved.
+	if res.N != 4 || res.Mean != 1.0 || res.Phases == 0 {
+		t.Fatalf("fit = %+v", res)
+	}
+	if rate, ok := res.Params["rate"]; !ok || rate != float64(res.Phases) {
+		t.Fatalf("params = %v, want rate == phases/mean", res.Params)
+	}
+	// Human mode mentions the sweep spelling; garbage input exits 2.
+	out = runTool(t, true, "evaluate", "-fit", samples)
+	if !strings.Contains(out, "param:") || !strings.Contains(out, "sweep use:") {
+		t.Fatalf("evaluate -fit output: %s", out)
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("1.0 oops\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, false, "evaluate", "-fit", bad)
+}

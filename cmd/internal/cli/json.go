@@ -19,6 +19,9 @@ type Result = serve.Result
 // CheckResult is the wire form of a model-checking verdict.
 type CheckResult = serve.CheckResult
 
+// FitResult is the wire form of a fitted phase-type distribution.
+type FitResult = serve.FitResult
+
 // ResultFromMeasures converts Measures into the wire Result; kind is
 // "steady" or "transient" (with at recorded for the latter), includePi
 // adds the per-state distribution.

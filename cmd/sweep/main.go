@@ -1,0 +1,270 @@
+// Command sweep expands a parameter grid over a registered model family
+// and solves every grid point, sharing model builds, compositions and
+// lumped chains across points through the analysis service's
+// content-addressed artifact cache.
+//
+// Usage:
+//
+//	sweep -list
+//	sweep -family fame -p nodes=4 -grid tbase=1,2,4 -grid at=0.5,1,2
+//	sweep -family faust -grid variant=wait-both,unsafe -check deadlockfree
+//	sweep -addr http://127.0.0.1:8080 -family xstream -grid mu=1,2 -json
+//
+// Without -addr the sweep runs against an in-process service; with -addr
+// it is posted to a running `serve` instance, sharing that server's warm
+// cache. -p fixes a parameter for all points, -grid sweeps one axis
+// (comma-separated values); both repeat. Exit status 0 means every point
+// completed, 1 means some points failed, 2 means the request was bad.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"multival/cmd/internal/cli"
+	"multival/internal/serve"
+	"multival/internal/sweep"
+)
+
+// listFlag collects repeated occurrences of a string flag.
+type listFlag []string
+
+func (f *listFlag) String() string     { return strings.Join(*f, ",") }
+func (f *listFlag) Set(s string) error { *f = append(*f, s); return nil }
+
+func main() {
+	c := cli.New("sweep")
+	c.MaxStatesFlag(1 << 20)
+	var (
+		family      = flag.String("family", "", "model family to sweep")
+		list        = flag.Bool("list", false, "list registered families and their parameters")
+		addr        = flag.String("addr", "", "post the sweep to a running serve instance instead of solving in-process")
+		jsonOut     = flag.Bool("json", false, "emit the full sweep response as JSON in the serve wire format")
+		concurrency = flag.Int("concurrency", 0, "instances in flight at once (0 = queue worker count)")
+		fixed       listFlag
+		grid        listFlag
+		checks      listFlag
+	)
+	flag.Var(&fixed, "p", "fix a parameter: name=value (repeatable)")
+	flag.Var(&grid, "grid", "sweep a parameter: name=v1,v2,... (repeatable)")
+	flag.Var(&checks, "check", "property query (mcl preset or formula) evaluated on every point (repeatable)")
+	flag.Parse()
+
+	if *list {
+		listFamilies()
+		return
+	}
+	if *family == "" || flag.NArg() != 0 {
+		c.Usage("sweep (-list | -family NAME [-p k=v]... [-grid k=v1,v2,...]... [-check QUERY]... [-addr URL] [-json] [-concurrency N] [-timeout D] [-workers N] [-max-states N])")
+	}
+
+	req := &serve.SweepRequest{
+		Family:      *family,
+		Params:      map[string]any{},
+		Grid:        map[string][]any{},
+		Check:       checks,
+		Concurrency: *concurrency,
+		Workers:     c.Workers,
+	}
+	if c.Timeout > 0 {
+		req.DeadlineMS = int(c.Timeout / time.Millisecond)
+	}
+	for _, kv := range fixed {
+		name, raw, err := splitAssign(kv)
+		if err != nil {
+			c.Fatal(2, err)
+		}
+		req.Params[name] = parseValue(raw)
+	}
+	for _, kv := range grid {
+		name, raw, err := splitAssign(kv)
+		if err != nil {
+			c.Fatal(2, err)
+		}
+		var vals []any
+		for _, v := range strings.Split(raw, ",") {
+			vals = append(vals, parseValue(strings.TrimSpace(v)))
+		}
+		req.Grid[name] = vals
+	}
+
+	var (
+		resp *serve.SweepResponse
+		err  error
+	)
+	if *addr != "" {
+		resp, err = postSweep(*addr, req)
+	} else {
+		resp, err = localSweep(c, req)
+	}
+	if err != nil {
+		c.Fatal(2, err)
+	}
+
+	if *jsonOut {
+		if err := cli.WriteJSON(os.Stdout, resp); err != nil {
+			c.Fatal(2, err)
+		}
+	} else {
+		printSweep(resp)
+	}
+	if resp.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// localSweep runs the request against an in-process service.
+func localSweep(c *cli.Common, req *serve.SweepRequest) (*serve.SweepResponse, error) {
+	srv := serve.New(serve.Config{
+		Engine:       c.Engine(),
+		QueueWorkers: 2,
+		QueueDepth:   64,
+	})
+	defer srv.Close()
+	ctx, cancel := c.Context()
+	defer cancel()
+	return srv.RunSweep(ctx, req, nil)
+}
+
+// postSweep posts the request to a running serve instance.
+func postSweep(addr string, req *serve.SweepRequest) (*serve.SweepResponse, error) {
+	var buf bytes.Buffer
+	if err := serve.EncodeJSON(&buf, req); err != nil {
+		return nil, err
+	}
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	hr, err := http.Post(base+"/v1/sweeps", "application/json", &buf)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	body, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return nil, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		var eb serve.ErrorBody
+		if err := serve.DecodeJSON(bytes.NewReader(body), &eb); err == nil && eb.Error.Message != "" {
+			return nil, fmt.Errorf("%s: %s", eb.Error.Code, eb.Error.Message)
+		}
+		return nil, fmt.Errorf("server returned status %d: %s", hr.StatusCode, body)
+	}
+	var resp serve.SweepResponse
+	if err := serve.DecodeJSON(bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// listFamilies prints the registry with parameter docs.
+func listFamilies() {
+	for _, fam := range serve.Families() {
+		fmt.Printf("%s\n    %s\n", fam.Name, fam.Doc)
+		for _, p := range fam.Params {
+			def := "required"
+			if p.Default != nil {
+				def = fmt.Sprintf("default %v", p.Default)
+			}
+			extras := []string{p.Kind.String(), p.Role.String(), def}
+			if len(p.Enum) > 0 {
+				extras = append(extras, "one of "+strings.Join(p.Enum, "|"))
+			}
+			fmt.Printf("    -%-14s %s (%s)\n", p.Name, p.Doc, strings.Join(extras, ", "))
+		}
+		if fam.AllowExtra {
+			fmt.Printf("    (accepts extra parameters)\n")
+		}
+		fmt.Println()
+	}
+}
+
+// printSweep renders the human-readable rollup: one line per point, then
+// the sharing summary.
+func printSweep(resp *serve.SweepResponse) {
+	for _, sp := range resp.Results {
+		fmt.Printf("[%d] %s: ", sp.Index, coordString(sp.Point))
+		if sp.Error != nil {
+			fmt.Printf("ERROR %s: %s\n", sp.Error.Code, sp.Error.Message)
+			continue
+		}
+		var parts []string
+		for _, k := range sortedKeys(sp.Result.Throughputs) {
+			parts = append(parts, fmt.Sprintf("tput(%s)=%.6g", k, sp.Result.Throughputs[k]))
+		}
+		for _, k := range sortedKeys(sp.Result.MeanTimes) {
+			parts = append(parts, fmt.Sprintf("mtt(%s)=%.6g", k, sp.Result.MeanTimes[k]))
+		}
+		for _, ch := range sp.Result.Checks {
+			parts = append(parts, fmt.Sprintf("%s=%v", ch.Query, ch.Holds))
+		}
+		if sp.Result.CacheHit {
+			parts = append(parts, "(cached)")
+		}
+		fmt.Println(strings.Join(parts, "  "))
+	}
+	b := resp.Builds
+	fmt.Printf("%d points (%d ok, %d failed), %d distinct models; builds: %d family + %d functional + %d perf + %d measure + %d check; %d cache hits; %.1f ms\n",
+		resp.GridPoints, resp.Completed, resp.Failed, resp.DistinctModels,
+		b.Family, b.Functional, b.Perf, b.Measure, b.Check, resp.CacheHits, resp.ElapsedMS)
+}
+
+// coordString renders a grid coordinate with sorted keys.
+func coordString(coord map[string]any) string {
+	keys := make([]string, 0, len(coord))
+	for k := range coord {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, coord[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// splitAssign parses name=value.
+func splitAssign(kv string) (string, string, error) {
+	name, val, ok := strings.Cut(kv, "=")
+	if !ok || name == "" {
+		return "", "", fmt.Errorf("want name=value, got %q", kv)
+	}
+	return strings.TrimSpace(name), val, nil
+}
+
+// parseValue reads a flag value the way JSON would: bool, number, or
+// string. The planner's normalization handles int/float coercion.
+func parseValue(s string) any {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compile-time guard that -list stays in sync with the registry types.
+var _ = sweep.Names

@@ -1,0 +1,131 @@
+package fame
+
+import (
+	"fmt"
+	"strings"
+
+	"multival/internal/lts"
+)
+
+// ParseTopology resolves a topology name ("ring", "mesh", "crossbar").
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ring":
+		return Ring, nil
+	case "mesh", "mesh2d":
+		return Mesh2D, nil
+	case "crossbar", "xbar":
+		return Crossbar, nil
+	}
+	return 0, fmt.Errorf("fame: unknown topology %q (ring, mesh, crossbar)", s)
+}
+
+// ParseMode resolves an MPI mode name ("eager", "rendezvous").
+func ParseMode(s string) (MPIMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "eager":
+		return Eager, nil
+	case "rendezvous", "rdv":
+		return Rendezvous, nil
+	}
+	return 0, fmt.Errorf("fame: unknown MPI mode %q (eager, rendezvous)", s)
+}
+
+// ParseProtocol resolves a coherence protocol name ("msi", "mesi").
+func ParseProtocol(s string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "msi":
+		return MSI, nil
+	case "mesi":
+		return MESI, nil
+	}
+	return 0, fmt.Errorf("fame: unknown protocol %q (msi, mesi)", s)
+}
+
+// RoundGate is the label of the round-completion transition of the
+// round-trip LTS: decorating it with a marker makes the round rate (the
+// reciprocal of the predicted latency) a measurable throughput.
+const RoundGate = "round"
+
+// HopGate names the delay gate of messages traveling the given hop
+// distance; every message with the same distance shares one gate (and so
+// one decoration rate).
+func HopGate(hops int) string { return fmt.Sprintf("hop%d", hops) }
+
+// RoundTripLTS builds the *functional* skeleton of one steady-state
+// ping-pong round as a cyclic LTS usable by the Pipeline/serve flow: each
+// coherence message becomes k serial transitions labeled by its hop-gate
+// (an Erlang-k delay once decorated), and the final transition closes the
+// cycle under the RoundGate label. The structure depends only on the
+// workload, topology and phase count — not on the timing — so every
+// timing point of a parameter sweep shares this artifact; the returned
+// hop counts (one per message, in order) feed RoundTripRates.
+func RoundTripLTS(w Workload, topo Topology, k int) (*lts.LTS, []int, error) {
+	if k < 1 || k > 64 {
+		return nil, nil, fmt.Errorf("fame: ErlangK %d out of 1..64", k)
+	}
+	msgs, err := PingPongMessages(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	hops := make([]int, len(msgs))
+	for i, msg := range msgs {
+		h, err := topo.Hops(msg.Src, msg.Dst, w.Nodes)
+		if err != nil {
+			return nil, nil, err
+		}
+		hops[i] = h
+	}
+	n := len(msgs) * k
+	l := lts.New(fmt.Sprintf("fame-round-%s-%s-%s-n%d", topo, w.Mode, w.Protocol, w.Nodes))
+	l.AddStates(n)
+	state := 0
+	for _, h := range hops {
+		for ph := 0; ph < k; ph++ {
+			next, label := state+1, HopGate(h)
+			if state+1 == n {
+				next, label = 0, RoundGate
+			}
+			l.AddTransition(lts.State(state), label, lts.State(next))
+			state++
+		}
+	}
+	l.SetInitial(0)
+	return l, hops, nil
+}
+
+// RoundTripRates derives the decoration rates of a RoundTripLTS from the
+// interconnect timing: every hop-gate carries rate k/(TBase + THop*hops)
+// — the Erlang-k phase rate of that message's delay — and the RoundGate
+// carries the phase rate of the final message. TBase must be positive so
+// zero-distance messages keep a finite delay (the latency-prediction
+// path's 1e-9 fallback would make the chain numerically stiff here).
+func RoundTripRates(hops []int, tm Timing) (map[string]float64, error) {
+	if err := tm.validate(); err != nil {
+		return nil, err
+	}
+	if tm.TBase <= 0 {
+		return nil, fmt.Errorf("fame: sweep timing needs TBase > 0, got %v", tm.TBase)
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("fame: no messages")
+	}
+	k := float64(tm.ErlangK)
+	// Count the transitions per hop gate as RoundTripLTS lays them out:
+	// k per message, minus the final transition which is the RoundGate. A
+	// gate left without transitions (k == 1 and a unique final hop count)
+	// must not appear in the rates — DecorateGateRates rejects it.
+	counts := make(map[int]int, len(hops))
+	for _, h := range hops {
+		counts[h] += tm.ErlangK
+	}
+	counts[hops[len(hops)-1]]--
+	rates := make(map[string]float64, len(counts)+1)
+	for h, c := range counts {
+		if c > 0 {
+			rates[HopGate(h)] = k / (tm.TBase + tm.THop*float64(h))
+		}
+	}
+	rates[RoundGate] = k / (tm.TBase + tm.THop*float64(hops[len(hops)-1]))
+	return rates, nil
+}

@@ -1,0 +1,68 @@
+package mcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseQuery resolves a property query string to a formula. A query is
+// either a named preset — the properties the Multival flow checks on
+// every case study — or a raw modal mu-calculus formula handed to Parse.
+// Presets:
+//
+//	deadlock              deadlock freedom (AG <true> true)
+//	livelock              a cycle of internal actions is reachable
+//	reachable:LABEL       a transition with this exact label is reachable
+//	never:LABEL           no reachable state offers this exact label
+//	inevitable:LABEL      every maximal path eventually offers this label
+//	response:TRIG->RESP   every TRIG is inevitably followed by a RESP
+//
+// The preset spellings are the server-side and sweep-level property
+// vocabulary: a query string is part of a cached artifact's identity, so
+// it must stay stable across releases.
+func ParseQuery(q string) (Formula, error) {
+	query := strings.TrimSpace(q)
+	if query == "" {
+		return nil, fmt.Errorf("mcl: empty property query")
+	}
+	name, arg, hasArg := strings.Cut(query, ":")
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "deadlock", "deadlockfree", "deadlock-free":
+		if hasArg {
+			return nil, fmt.Errorf("mcl: preset %q takes no argument", name)
+		}
+		return DeadlockFree(), nil
+	case "livelock":
+		if hasArg {
+			return nil, fmt.Errorf("mcl: preset %q takes no argument", name)
+		}
+		return Livelock(), nil
+	case "reachable":
+		if !hasArg || strings.TrimSpace(arg) == "" {
+			return nil, fmt.Errorf("mcl: preset reachable needs a label (reachable:LABEL)")
+		}
+		return ReachableAction(Action(strings.TrimSpace(arg))), nil
+	case "never":
+		if !hasArg || strings.TrimSpace(arg) == "" {
+			return nil, fmt.Errorf("mcl: preset never needs a label (never:LABEL)")
+		}
+		return NeverEnabled(Action(strings.TrimSpace(arg))), nil
+	case "inevitable":
+		if !hasArg || strings.TrimSpace(arg) == "" {
+			return nil, fmt.Errorf("mcl: preset inevitable needs a label (inevitable:LABEL)")
+		}
+		return Inevitable(Dia(Action(strings.TrimSpace(arg)), True())), nil
+	case "response":
+		trig, resp, ok := strings.Cut(arg, "->")
+		if !hasArg || !ok || strings.TrimSpace(trig) == "" || strings.TrimSpace(resp) == "" {
+			return nil, fmt.Errorf("mcl: preset response needs two labels (response:TRIGGER->RESPONSE)")
+		}
+		return Response(Action(strings.TrimSpace(trig)), Action(strings.TrimSpace(resp))), nil
+	}
+	// Not a preset: the query is a raw mu-calculus formula.
+	f, err := Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("mcl: query %q is neither a preset nor a formula: %v", q, err)
+	}
+	return f, nil
+}

@@ -54,6 +54,53 @@ func FixedDelayError(d float64, k int) (scv, wasserstein float64, err error) {
 	return scv, total, nil
 }
 
+// SampleStats summarizes an empirical sample used for fitting.
+type SampleStats struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1) estimator; 0 for a single sample
+	SCV      float64 // squared coefficient of variation, Variance/Mean^2
+}
+
+// FitSample fits a phase-type distribution to an empirical sample of
+// positive durations by two-moment matching: it estimates the sample mean
+// and squared coefficient of variation and delegates to MomentMatch2. A
+// single-sample (or zero-variance) input is treated as a deterministic
+// delay and fitted per FitFixedDelay with a default of 8 Erlang phases.
+// The returned stats expose the estimates so callers can re-derive or
+// sweep around the fitted rates.
+func FitSample(samples []float64) (*Distribution, SampleStats, error) {
+	var st SampleStats
+	if len(samples) == 0 {
+		return nil, st, fmt.Errorf("phasetype: empty sample")
+	}
+	sum := 0.0
+	for i, s := range samples {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, st, fmt.Errorf("phasetype: sample %d is %v; durations must be positive and finite", i, s)
+		}
+		sum += s
+	}
+	st.N = len(samples)
+	st.Mean = sum / float64(st.N)
+	if st.N > 1 {
+		ss := 0.0
+		for _, s := range samples {
+			d := s - st.Mean
+			ss += d * d
+		}
+		st.Variance = ss / float64(st.N-1)
+	}
+	st.SCV = st.Variance / (st.Mean * st.Mean)
+	if st.SCV < 1e-12 {
+		const k = 8
+		d, err := FitFixedDelay(st.Mean, k)
+		return d, st, err
+	}
+	d, err := MomentMatch2(st.Mean, st.SCV)
+	return d, st, err
+}
+
 // MomentMatch2 builds a phase-type distribution matching a mean and a
 // squared coefficient of variation:
 //

@@ -1,0 +1,84 @@
+package phasetype
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitSampleMatchesMoments(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		scvHigh bool // whether the empirical SCV exceeds 1 (Coxian branch)
+	}{
+		{"low-variance", []float64{9, 10, 11, 10, 10, 9.5, 10.5}, false},
+		{"high-variance", []float64{0.1, 0.2, 0.1, 5, 0.3, 8, 0.2}, true},
+	}
+	for _, c := range cases {
+		d, st, err := FitSample(c.samples)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if st.N != len(c.samples) {
+			t.Errorf("%s: N = %d, want %d", c.name, st.N, len(c.samples))
+		}
+		if (st.SCV > 1) != c.scvHigh {
+			t.Errorf("%s: empirical SCV %v on unexpected side of 1", c.name, st.SCV)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: fitted distribution invalid: %v", c.name, err)
+		}
+		if got := d.Mean(); math.Abs(got-st.Mean) > 1e-9*st.Mean {
+			t.Errorf("%s: fitted mean %v, sample mean %v", c.name, got, st.Mean)
+		}
+		// The Coxian branch matches SCV exactly; the Erlang branch only
+		// from below (scv_fit = 1/k <= scv_sample).
+		if c.scvHigh {
+			if got := d.SCV(); math.Abs(got-st.SCV) > 1e-6 {
+				t.Errorf("%s: fitted SCV %v, sample SCV %v", c.name, got, st.SCV)
+			}
+		} else if got := d.SCV(); got > st.SCV+1e-9 {
+			t.Errorf("%s: fitted SCV %v exceeds sample SCV %v", c.name, got, st.SCV)
+		}
+	}
+}
+
+func TestFitSampleDeterministic(t *testing.T) {
+	// Identical samples: zero variance, treated as a fixed delay.
+	d, st, err := FitSample([]float64{2.5, 2.5, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Variance != 0 || st.SCV != 0 {
+		t.Fatalf("stats = %+v, want zero variance", st)
+	}
+	if got := d.Mean(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("mean %v, want 2.5", got)
+	}
+	if k := d.NumPhases(); k != 8 {
+		t.Errorf("phases = %d, want Erlang-8 fixed-delay default", k)
+	}
+	// Single sample behaves the same way.
+	d1, _, err := FitSample([]float64{2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d1.Mean(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("single-sample mean %v, want 2.5", got)
+	}
+}
+
+func TestFitSampleErrors(t *testing.T) {
+	for _, samples := range [][]float64{
+		nil,
+		{},
+		{1, -2, 3},
+		{0},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		if _, _, err := FitSample(samples); err == nil {
+			t.Errorf("FitSample(%v) unexpectedly succeeded", samples)
+		}
+	}
+}

@@ -28,10 +28,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"multival"
 	"multival/internal/aut"
+	"multival/internal/mcl"
 )
 
 // Config sizes the service. The zero value is usable: a default engine,
@@ -67,10 +69,65 @@ type Server struct {
 	cfg    Config
 	base   *multival.Engine
 	queue  *Queue
-	cache  *Cache // derived artifacts: perf models, measures
+	cache  *Cache // derived artifacts: family models, functional models, perf models, measures, checks
 	models *Cache // uploaded models, keyed by content digest
 	mux    *http.ServeMux
 	start  time.Time
+	builds buildCounters
+}
+
+// buildCounters tallies the artifact builds actually performed, one
+// counter per cache layer. Cache hits do not increment them, so the
+// difference between grid points and builds is exactly the sharing a
+// sweep achieved.
+type buildCounters struct {
+	family     atomic.Int64
+	functional atomic.Int64
+	perf       atomic.Int64
+	measure    atomic.Int64
+	check      atomic.Int64
+}
+
+// BuildStats is the wire snapshot of the per-layer artifact build
+// counters.
+type BuildStats struct {
+	// Family counts component model builds of sweep families.
+	Family int64 `json:"family"`
+	// Functional counts composed+minimized functional models.
+	Functional int64 `json:"functional"`
+	// Perf counts decorated (and lumped) performance models.
+	Perf int64 `json:"perf"`
+	// Measure counts solved measure sets (steady-state or transient).
+	Measure int64 `json:"measure"`
+	// Check counts evaluated model-checking queries.
+	Check int64 `json:"check"`
+}
+
+// Total sums the per-layer build counts.
+func (b BuildStats) Total() int64 {
+	return b.Family + b.Functional + b.Perf + b.Measure + b.Check
+}
+
+// Sub returns the per-layer difference b - prev (the builds performed
+// between two snapshots).
+func (b BuildStats) Sub(prev BuildStats) BuildStats {
+	return BuildStats{
+		Family:     b.Family - prev.Family,
+		Functional: b.Functional - prev.Functional,
+		Perf:       b.Perf - prev.Perf,
+		Measure:    b.Measure - prev.Measure,
+		Check:      b.Check - prev.Check,
+	}
+}
+
+func (c *buildCounters) snapshot() BuildStats {
+	return BuildStats{
+		Family:     c.family.Load(),
+		Functional: c.functional.Load(),
+		Perf:       c.perf.Load(),
+		Measure:    c.measure.Load(),
+		Check:      c.check.Load(),
+	}
 }
 
 // storedModel is the cache entry of an uploaded or inline model.
@@ -96,6 +153,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
@@ -227,19 +285,36 @@ func (s *Server) resolveModels(req *SolveRequest) ([]*multival.Model, []string, 
 	return models, out, nil
 }
 
-// perfSpec is the canonical identity of a performance model: the model
-// digests plus every pipeline step that shapes the decorated chain.
-// Requests with equal perfSpecs share one cached PerfModel — and with it
-// one maximal-progress pass and one CTMC extraction.
+// The artifact cache is layered: each layer's spec embeds the key of the
+// layer below it, so changing a parameter invalidates exactly the layers
+// it shapes. A sweep varying only rates shares one functional model
+// across all its perf builds; varying only the query time shares even
+// the lumped CTMC.
+//
+//	fam/<hash>     component model of a sweep family (structural params)
+//	func/<hash>    composed + hidden + minimized functional model
+//	perf/<hash>    decorated (+ lumped) performance model
+//	measure/<hash> solved measure set
+//	check/<hash>   model-checking verdict
+//
+// funcSpec is the canonical identity of a functional model.
+type funcSpec struct {
+	ModelHashes []string `json:"m"`
+	Sync        []string `json:"sync,omitempty"`
+	Hide        []string `json:"hide,omitempty"`
+	Minimize    string   `json:"min,omitempty"`
+}
+
+// perfSpec is the canonical identity of a performance model over a
+// functional artifact. Requests with equal perfSpecs share one cached
+// PerfModel — and with it one maximal-progress pass and one CTMC
+// extraction.
 type perfSpec struct {
-	ModelHashes []string           `json:"m"`
-	Sync        []string           `json:"sync,omitempty"`
-	Hide        []string           `json:"hide,omitempty"`
-	Minimize    string             `json:"min,omitempty"`
-	Rates       map[string]float64 `json:"rates"`
-	Markers     []string           `json:"markers,omitempty"`
-	Lump        bool               `json:"lump"`
-	Uniform     bool               `json:"uniform,omitempty"`
+	Func    string             `json:"func"`
+	Rates   map[string]float64 `json:"rates"`
+	Markers []string           `json:"markers,omitempty"`
+	Lump    bool               `json:"lump"`
+	Uniform bool               `json:"uniform,omitempty"`
 }
 
 // measureSpec is the canonical identity of one solved measure set over a
@@ -248,6 +323,14 @@ type measureSpec struct {
 	Perf string  `json:"perf"`
 	Kind string  `json:"kind"`
 	At   float64 `json:"at,omitempty"`
+}
+
+// checkSpec is the canonical identity of one model-checking verdict over
+// a functional artifact. The query string is part of the identity, so
+// preset spellings must stay stable (see mcl.ParseQuery).
+type checkSpec struct {
+	Func  string `json:"func"`
+	Query string `json:"q"`
 }
 
 // solveOutcome carries the result of a queued execution back to the
@@ -430,9 +513,7 @@ var executeHook func(*SolveRequest)
 
 // execute runs one request on a queue worker: materialize the models
 // (inline texts parse here, not on the handler goroutine, so the queue
-// bounds that CPU work too), derive the per-request engine, share or
-// build the performance model, share or build the measures, then
-// assemble the wire result.
+// bounds that CPU work too), then run the layered pipeline over them.
 func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.ProgressFunc) (*Result, error) {
 	if executeHook != nil {
 		executeHook(req)
@@ -441,72 +522,149 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.P
 	if err != nil {
 		return nil, err
 	}
-	var opts []multival.Option
-	if req.Workers > 0 {
-		opts = append(opts, multival.WithWorkers(req.Workers))
+	spec := pipeSpec{
+		Sync:                 req.Sync,
+		Hide:                 req.Hide,
+		Minimize:             req.Minimize,
+		Rates:                req.Rates,
+		Markers:              req.Markers,
+		Lump:                 req.Lump == nil || *req.Lump,
+		Uniform:              req.UniformScheduler,
+		Kind:                 "steady",
+		MeanTimeTo:           req.MeanTimeTo,
+		Bounds:               req.Bounds,
+		Check:                req.Check,
+		IncludeProbabilities: req.IncludeProbabilities,
+		Workers:              req.Workers,
 	}
-	if req.UniformScheduler {
+	if req.At != nil {
+		spec.Kind, spec.At = "transient", *req.At
+	}
+	return s.executeSpec(ctx, models, hashes, spec, hook)
+}
+
+// pipeSpec is the fully resolved description of one pipeline execution —
+// what remains of a SolveRequest (or a sweep instance) once the models
+// are materialized.
+type pipeSpec struct {
+	Sync, Hide           []string
+	Minimize             string
+	Rates                map[string]float64
+	Markers              []string
+	Lump                 bool
+	Uniform              bool
+	Kind                 string // "steady" or "transient"
+	At                   float64
+	MeanTimeTo           []string
+	Bounds               []string
+	Check                []string
+	IncludeProbabilities bool
+	Workers              int
+}
+
+// executeSpec runs the layered pipeline: share or build the functional
+// model, evaluate property queries on it, share or build the performance
+// model and the measures, then assemble the wire result.
+func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hashes []string, spec pipeSpec, hook multival.ProgressFunc) (*Result, error) {
+	var opts []multival.Option
+	if spec.Workers > 0 {
+		opts = append(opts, multival.WithWorkers(spec.Workers))
+	}
+	if spec.Uniform {
 		opts = append(opts, multival.WithScheduler(multival.UniformScheduler{}))
 	}
-	opts = append(opts, multival.WithProgress(hook))
+	if hook != nil {
+		opts = append(opts, multival.WithProgress(hook))
+	}
 	eng := s.base.With(opts...)
 
-	lump := req.Lump == nil || *req.Lump
-	pSpec := perfSpec{
-		ModelHashes: hashes,
-		Sync:        req.Sync,
-		Hide:        req.Hide,
-		Minimize:    req.Minimize,
-		Rates:       req.Rates,
-		Markers:     req.Markers,
-		Lump:        lump,
-		Uniform:     req.UniformScheduler,
-	}
-	perfKey := "perf/" + specHash(pSpec)
-
-	v, _, err := s.cache.Do(ctx, perfKey, func() (any, error) {
-		p := eng.Compose(models...).Sync(req.Sync...).Hide(req.Hide...)
-		if req.Minimize != "" {
-			rel, err := multival.ParseRelation(req.Minimize)
+	fSpec := funcSpec{ModelHashes: hashes, Sync: spec.Sync, Hide: spec.Hide, Minimize: spec.Minimize}
+	funcKey := "func/" + specHash(fSpec)
+	v, _, err := s.cache.Do(ctx, funcKey, func() (any, error) {
+		p := eng.Compose(models...).Sync(spec.Sync...).Hide(spec.Hide...)
+		if spec.Minimize != "" {
+			rel, err := multival.ParseRelation(spec.Minimize)
 			if err != nil {
 				return nil, badRequestf("%v", err)
 			}
 			p = p.Minimize(rel)
 		}
-		p = p.DecorateGateRates(req.Rates, req.Markers...)
-		if lump {
+		m, err := p.Model(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.builds.functional.Add(1)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fm := v.(*multival.Model)
+
+	var checks []QueryCheck
+	for _, q := range spec.Check {
+		cr, err := s.runCheck(ctx, funcKey, fm, q)
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, cr)
+	}
+
+	pSpec := perfSpec{
+		Func:    funcKey,
+		Rates:   spec.Rates,
+		Markers: spec.Markers,
+		Lump:    spec.Lump,
+		Uniform: spec.Uniform,
+	}
+	perfKey := "perf/" + specHash(pSpec)
+	v, _, err = s.cache.Do(ctx, perfKey, func() (any, error) {
+		p := eng.Compose(fm).DecorateGateRates(spec.Rates, spec.Markers...)
+		if spec.Lump {
 			p = p.Lump()
 		}
-		return p.Perf(ctx)
+		pm, err := p.Perf(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.builds.perf.Add(1)
+		return pm, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	pm := v.(*multival.PerfModel)
 
-	kind, at := "steady", 0.0
-	if req.At != nil {
-		kind, at = "transient", *req.At
-	}
-	mSpec := measureSpec{Perf: perfKey, Kind: kind, At: at}
+	mSpec := measureSpec{Perf: perfKey, Kind: spec.Kind, At: spec.At}
 	v, hit, err := s.cache.Do(ctx, "measure/"+specHash(mSpec), func() (any, error) {
-		if kind == "transient" {
-			return pm.Transient(ctx, at)
+		if spec.Kind == "transient" {
+			ms, err := pm.Transient(ctx, spec.At)
+			if err != nil {
+				return nil, err
+			}
+			s.builds.measure.Add(1)
+			return ms, nil
 		}
-		return pm.SteadyState(ctx)
+		ms, err := pm.SteadyState(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.builds.measure.Add(1)
+		return ms, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	ms := v.(*multival.Measures)
 
-	res := ResultFromMeasures(ms, kind, at, req.IncludeProbabilities)
+	res := ResultFromMeasures(ms, spec.Kind, spec.At, spec.IncludeProbabilities)
 	res.ModelHash = hashes[0]
 	res.IMCStates = pm.States()
 	res.CacheHit = hit
-	if len(req.MeanTimeTo) > 0 {
-		res.MeanTimes = make(map[string]float64, len(req.MeanTimeTo))
-		for _, lab := range req.MeanTimeTo {
+	res.Checks = checks
+	if len(spec.MeanTimeTo) > 0 {
+		res.MeanTimes = make(map[string]float64, len(spec.MeanTimeTo))
+		for _, lab := range spec.MeanTimeTo {
 			t, err := pm.MeanTimeTo(ctx, lab)
 			if err != nil {
 				return nil, err
@@ -514,9 +672,9 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.P
 			res.MeanTimes[lab] = t
 		}
 	}
-	if len(req.Bounds) > 0 {
-		res.Bounds = make(map[string][2]float64, len(req.Bounds))
-		for _, lab := range req.Bounds {
+	if len(spec.Bounds) > 0 {
+		res.Bounds = make(map[string][2]float64, len(spec.Bounds))
+		for _, lab := range spec.Bounds {
 			lo, hi, err := pm.ThroughputBounds(ctx, lab)
 			if err != nil {
 				return nil, err
@@ -525,6 +683,59 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.P
 		}
 	}
 	return res, nil
+}
+
+// runCheck evaluates one property query against a functional model,
+// sharing verdicts through the cache. The mu-calculus evaluator takes no
+// context, so it runs under a watchdog goroutine: on deadline the request
+// fails cleanly while the evaluation is abandoned (its CPU is lost but
+// the worker is not wedged — verdict sizes are bounded by the functional
+// model, which minimization has already shrunk).
+func (s *Server) runCheck(ctx context.Context, funcKey string, fm *multival.Model, query string) (QueryCheck, error) {
+	cSpec := checkSpec{Func: funcKey, Query: query}
+	v, _, err := s.cache.Do(ctx, "check/"+specHash(cSpec), func() (any, error) {
+		f, err := mcl.ParseQuery(query)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		type outcome struct {
+			r   mcl.Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					ch <- outcome{err: internalf("evaluating %q panicked: %v", query, p)}
+				}
+			}()
+			r, err := mcl.Verify(fm.L, f)
+			ch <- outcome{r: r, err: err}
+		}()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				return nil, o.err
+			}
+			s.builds.check.Add(1)
+			return &QueryCheck{
+				Query: query,
+				CheckResult: CheckResult{
+					Holds:     o.r.Holds,
+					Formula:   o.r.Formula,
+					SatCount:  o.r.SatCount,
+					NumStates: o.r.NumStates,
+					Witness:   o.r.Witness,
+				},
+			}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	if err != nil {
+		return QueryCheck{}, err
+	}
+	return *v.(*QueryCheck), nil
 }
 
 // ArtifactTotals aggregates the PerfModel artifact counters over the
@@ -543,6 +754,7 @@ type StatsBody struct {
 	Queue         QueueStats               `json:"queue"`
 	Cache         CacheStats               `json:"cache"`
 	Models        CacheStats               `json:"models"`
+	Builds        BuildStats               `json:"builds"`
 	Artifacts     ArtifactTotals           `json:"artifacts"`
 	Solver        multival.SolverFallbacks `json:"solver"`
 }
@@ -554,6 +766,7 @@ func (s *Server) Stats() StatsBody {
 		Queue:         s.queue.Stats(),
 		Cache:         s.cache.Stats(),
 		Models:        s.models.Stats(),
+		Builds:        s.builds.snapshot(),
 		Solver:        multival.SolverFallbackStats(),
 	}
 	s.cache.Each(func(_ string, v any) {

@@ -1,0 +1,412 @@
+// Parameter sweeps: POST /v1/sweeps expands a model-family grid into
+// pipeline instances and executes them through the same bounded queue and
+// content-addressed cache as /v1/solve. Canonical instance specs make the
+// sharing automatic — grid points differing only in rates share one
+// functional model, points differing only in the query time share even
+// the lumped CTMC — and /v1/stats' build counters prove it.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"multival"
+	"multival/internal/lts"
+	"multival/internal/sweep"
+)
+
+// SweepRequest is the body of POST /v1/sweeps: a family name, fixed
+// parameter values, and the grid of swept axes.
+type SweepRequest struct {
+	// Family names a registered model family (fame, faust, xstream, chp,
+	// lotos).
+	Family string `json:"family"`
+	// Params fixes parameter values shared by every grid point; Grid maps
+	// swept parameter names to their value lists. The sweep runs the full
+	// cross product, axes sorted by name, rightmost fastest.
+	Params map[string]any   `json:"params,omitempty"`
+	Grid   map[string][]any `json:"grid,omitempty"`
+	// Check lists property queries (mcl presets or raw formulas)
+	// evaluated against every instance's functional model.
+	Check []string `json:"check,omitempty"`
+	// Lump (default true) lumps every instance's decorated model.
+	Lump *bool `json:"lump,omitempty"`
+	// Concurrency bounds the number of instances in flight at once
+	// (default: the queue's worker count). The queue's own admission
+	// control still applies; the sweep retries briefly on a full queue.
+	Concurrency int `json:"concurrency,omitempty"`
+	// DeadlineMS bounds the whole sweep; InstanceDeadlineMS bounds each
+	// instance (both capped by the server's MaxDeadline).
+	DeadlineMS         int `json:"deadline_ms,omitempty"`
+	InstanceDeadlineMS int `json:"instance_deadline_ms,omitempty"`
+	// Workers overrides the engine worker count per instance.
+	Workers              int  `json:"workers,omitempty"`
+	IncludeProbabilities bool `json:"include_probabilities,omitempty"`
+}
+
+// SweepPoint is the outcome of one grid point: its coordinates plus
+// either a result or a classified error. One diverging instance fails
+// alone — the sweep continues.
+type SweepPoint struct {
+	Index  int            `json:"index"`
+	Point  map[string]any `json:"point"`
+	Result *Result        `json:"result,omitempty"`
+	Error  *Error         `json:"error,omitempty"`
+}
+
+// SweepResponse aggregates a sweep: per-point results in grid order plus
+// the sharing evidence (distinct models, builds performed during the
+// sweep, cache hits).
+type SweepResponse struct {
+	Family     string `json:"family"`
+	GridPoints int    `json:"grid_points"`
+	Completed  int    `json:"completed"`
+	Failed     int    `json:"failed"`
+	// DistinctModels counts the distinct component model identities over
+	// the whole grid — the number of structural configurations actually
+	// present.
+	DistinctModels int `json:"distinct_models"`
+	// Builds is the per-layer count of artifact builds this sweep
+	// performed (cache hits excluded); on a warm cache it approaches
+	// zero. CacheHits counts artifact-cache hits during the sweep
+	// (including joins of in-flight builds).
+	Builds    BuildStats `json:"builds"`
+	CacheHits int64      `json:"cache_hits"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+	// ErrorCounts tallies failed points by wire error code.
+	ErrorCounts map[string]int `json:"error_counts,omitempty"`
+	Results     []SweepPoint   `json:"results"`
+}
+
+// famComponent shares or builds one family component model, publishing it
+// in the model store so later requests can address it by content digest.
+func (s *Server) famComponent(ctx context.Context, c sweep.Component) (*storedModel, error) {
+	v, _, err := s.cache.Do(ctx, "fam/"+specHash(c.Key), func() (any, error) {
+		l, err := c.Build()
+		if err != nil {
+			return nil, err
+		}
+		m := s.base.FromLTS(l)
+		sm := &storedModel{m: m, hash: m.Hash()}
+		_, _, err = s.models.Do(context.Background(), sm.hash, func() (any, error) {
+			return sm, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.builds.family.Add(1)
+		return sm, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*storedModel), nil
+}
+
+// sweepPlan is the expanded, validated sweep before execution.
+type sweepPlan struct {
+	fam            *sweep.Family
+	points         []sweep.Point
+	instances      []*sweep.Instance
+	planErrs       []error // per-point family build errors (nil = ok)
+	distinctModels int
+}
+
+// planSweep expands and validates the request. Errors here are global
+// (bad family, bad grid); per-point instance resolution errors are
+// recorded in the plan so the rest of the grid still runs.
+func (s *Server) planSweep(req *SweepRequest) (*sweepPlan, error) {
+	if req.Family == "" {
+		return nil, badRequestf("family must name a model family (%v)", sweep.Names())
+	}
+	fam, ok := sweep.Lookup(req.Family)
+	if !ok {
+		return nil, badRequestf("unknown family %q (have %v)", req.Family, sweep.Names())
+	}
+	if len(req.Grid) == 0 {
+		return nil, badRequestf("grid must sweep at least one parameter")
+	}
+	points, err := sweep.Expand(fam, req.Params, req.Grid)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	plan := &sweepPlan{
+		fam:       fam,
+		points:    points,
+		instances: make([]*sweep.Instance, len(points)),
+		planErrs:  make([]error, len(points)),
+	}
+	distinct := map[string]bool{}
+	for i, pt := range points {
+		inst, err := fam.Build(pt.Values)
+		if err != nil {
+			plan.planErrs[i] = badRequestf("point %d: %v", i, err)
+			continue
+		}
+		plan.instances[i] = inst
+		for _, c := range inst.Components {
+			distinct[c.Key] = true
+		}
+	}
+	plan.distinctModels = len(distinct)
+	return plan, nil
+}
+
+// instanceSpec maps a resolved instance onto the layered pipeline spec.
+func (req *SweepRequest) instanceSpec(inst *sweep.Instance) pipeSpec {
+	spec := pipeSpec{
+		Sync:                 inst.Sync,
+		Hide:                 inst.Hide,
+		Minimize:             inst.Minimize,
+		Rates:                inst.Rates,
+		Markers:              inst.Markers,
+		Lump:                 req.Lump == nil || *req.Lump,
+		Uniform:              inst.UniformScheduler,
+		Kind:                 "steady",
+		MeanTimeTo:           inst.MeanTimeTo,
+		Check:                req.Check,
+		IncludeProbabilities: req.IncludeProbabilities,
+		Workers:              req.Workers,
+	}
+	if inst.At > 0 {
+		spec.Kind, spec.At = "transient", inst.At
+	}
+	return spec
+}
+
+// submitRetry submits a job, waiting out transient queue-full rejections
+// until the context expires: sweep-level concurrency already bounds how
+// many instances compete, so full queues here are short-lived bursts.
+func (s *Server) submitRetry(ctx context.Context, job func(context.Context)) error {
+	for {
+		err := s.queue.Submit(ctx, job)
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// RunSweep executes a sweep: every grid point becomes one queued pipeline
+// execution, at most Concurrency in flight, each bounded by the instance
+// deadline. onPoint (optional) observes each completed point in
+// completion order; the response lists them in grid order. The error is
+// non-nil only for request-shape problems — per-point failures are
+// classified into the response.
+func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(SweepPoint)) (*SweepResponse, error) {
+	plan, err := s.planSweep(req)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	buildsBefore := s.builds.snapshot()
+	cacheBefore := s.cache.Stats()
+
+	conc := req.Concurrency
+	if conc < 1 {
+		conc = s.queue.Stats().Workers
+	}
+	if conc > 64 {
+		conc = 64
+	}
+
+	instDeadline := time.Duration(req.InstanceDeadlineMS) * time.Millisecond
+	if s.cfg.MaxDeadline > 0 && (instDeadline <= 0 || instDeadline > s.cfg.MaxDeadline) {
+		instDeadline = s.cfg.MaxDeadline
+	}
+
+	resCh := make(chan SweepPoint)
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := range plan.points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resCh <- s.runPoint(ctx, req, plan, i, sem, instDeadline)
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	resp := &SweepResponse{
+		Family:         plan.fam.Name,
+		GridPoints:     len(plan.points),
+		DistinctModels: plan.distinctModels,
+		ErrorCounts:    map[string]int{},
+		Results:        make([]SweepPoint, len(plan.points)),
+	}
+	for sp := range resCh {
+		resp.Results[sp.Index] = sp
+		if sp.Error != nil {
+			resp.Failed++
+			resp.ErrorCounts[sp.Error.Code]++
+		} else {
+			resp.Completed++
+		}
+		if onPoint != nil {
+			onPoint(sp)
+		}
+	}
+	if len(resp.ErrorCounts) == 0 {
+		resp.ErrorCounts = nil
+	}
+	resp.Builds = s.builds.snapshot().Sub(buildsBefore)
+	cacheAfter := s.cache.Stats()
+	resp.CacheHits = (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Shared - cacheBefore.Shared)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// runPoint executes one grid point: acquire a concurrency slot, resolve
+// the family components, and run the pipeline spec on a queue worker.
+func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPlan, i int, sem chan struct{}, instDeadline time.Duration) SweepPoint {
+	sp := SweepPoint{Index: i, Point: plan.points[i].Coord}
+	fail := func(err error) SweepPoint {
+		code, _ := ErrorCode(err)
+		sp.Error = &Error{Code: code, Message: err.Error()}
+		return sp
+	}
+	if err := plan.planErrs[i]; err != nil {
+		return fail(err)
+	}
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	case <-ctx.Done():
+		return fail(ctx.Err())
+	}
+
+	instCtx, cancel := ctx, context.CancelFunc(func() {})
+	if instDeadline > 0 {
+		instCtx, cancel = context.WithTimeout(ctx, instDeadline)
+	}
+	defer cancel()
+
+	inst := plan.instances[i]
+	type outcome struct {
+		res *Result
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	submitErr := s.submitRetry(instCtx, func(jobCtx context.Context) {
+		defer func() {
+			if r := recover(); r != nil {
+				resCh <- outcome{err: internalf("executing sweep point panicked: %v", r)}
+				panic(r)
+			}
+		}()
+		models := make([]*multival.Model, len(inst.Components))
+		hashes := make([]string, len(inst.Components))
+		var err error
+		for ci, c := range inst.Components {
+			var sm *storedModel
+			sm, err = s.famComponent(jobCtx, c)
+			if err != nil {
+				break
+			}
+			models[ci], hashes[ci] = sm.m, sm.hash
+		}
+		if err != nil {
+			resCh <- outcome{err: err}
+			return
+		}
+		res, err := s.executeSpec(jobCtx, models, hashes, req.instanceSpec(inst), nil)
+		resCh <- outcome{res: res, err: err}
+	})
+	if submitErr != nil {
+		return fail(submitErr)
+	}
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			return fail(out.err)
+		}
+		sp.Result = out.res
+		return sp
+	case <-instCtx.Done():
+		return fail(instCtx.Err())
+	}
+}
+
+// handleSweeps executes one sweep request, streaming per-point SSE events
+// when asked.
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, badRequestf("use POST"))
+		return
+	}
+	var req SweepRequest
+	body := http.MaxBytesReader(nil, r.Body, maxModelBytes)
+	if err := DecodeJSON(body, &req); err != nil {
+		writeError(w, badRequestf("decoding request: %v", err))
+		return
+	}
+
+	d := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		d = time.Duration(req.DeadlineMS) * time.Millisecond
+		if s.cfg.MaxDeadline > 0 && d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	if d > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), d)
+	}
+	defer cancel()
+
+	if !wantsStream(r) {
+		resp, err := s.RunSweep(ctx, &req, nil)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, resp)
+		return
+	}
+
+	// SSE rollup: one "point" event per completed instance (completion
+	// order), then the aggregated "result". Events are emitted from the
+	// RunSweep collector goroutine — this handler's goroutine — so writes
+	// never interleave.
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	emit := func(event string, v any) {
+		fmt.Fprintf(w, "event: %s\ndata: ", event)
+		_ = EncodeJSONCompact(w, v)
+		fmt.Fprint(w, "\n\n")
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	resp, err := s.RunSweep(ctx, &req, func(sp SweepPoint) {
+		emit("point", sp)
+	})
+	if err != nil {
+		code, _ := ErrorCode(err)
+		emit("error", ErrorBody{Error: Error{Code: code, Message: err.Error()}})
+		return
+	}
+	emit("result", resp)
+}
+
+// Families returns the sweep family registry (for CLI listings).
+func Families() []*sweep.Family { return sweep.Registered() }
+
+// compile-time assertion that the sweep package's component contract
+// stays in terms of the core LTS type.
+var _ func() (*lts.LTS, error) = sweep.Component{}.Build

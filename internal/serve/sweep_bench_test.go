@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// benchSweepReq is the benchmark grid: 3 interconnect timings × 3 query
+// times over one fame configuration, sized so the functional pipeline
+// (generation, minimization, lumping) dominates a cold run.
+func benchSweepReq() *SweepRequest {
+	return &SweepRequest{
+		Family: "fame",
+		Params: map[string]any{"nodes": 8, "chunks": 4, "erlang_k": 4, "rounds": 2},
+		Grid: map[string][]any{
+			"tbase": []any{1.0, 2.0, 4.0},
+			"at":    []any{0.5, 1.0, 2.0},
+		},
+	}
+}
+
+func runBenchSweep(b *testing.B, s *Server, wantBuilds bool) *SweepResponse {
+	b.Helper()
+	resp, err := s.RunSweep(context.Background(), benchSweepReq(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.Completed != resp.GridPoints {
+		b.Fatalf("sweep failed %d/%d points: %+v", resp.Failed, resp.GridPoints, resp.ErrorCounts)
+	}
+	if wantBuilds && resp.Builds.Total() == 0 {
+		b.Fatal("cold sweep performed no builds")
+	}
+	return resp
+}
+
+// BenchmarkSweepFameCold: the whole 3×3 sweep against an empty cache —
+// the in-sweep sharing (1 family model, 1 functional model, 3 lumped
+// chains for 9 points) is the measured effect.
+func BenchmarkSweepFameCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+		runBenchSweep(b, s, true)
+		s.Close()
+	}
+}
+
+// BenchmarkSweepFameWarm: the same sweep against a warm cache — every
+// artifact down to the measures is shared, so this bounds the pure
+// orchestration overhead.
+func BenchmarkSweepFameWarm(b *testing.B) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+	first := runBenchSweep(b, s, true)
+	b.ResetTimer()
+	var hits int64
+	for i := 0; i < b.N; i++ {
+		resp := runBenchSweep(b, s, false)
+		hits += resp.CacheHits
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(hits)/float64(b.N*first.GridPoints), "hits/point")
+	}
+}
+
+// BenchmarkSweepFameNaive: the baseline the sweep subsystem replaces —
+// each grid point solved on its own fresh server, so every point pays the
+// full generation + minimization + lumping cost. The warm/naive ratio is
+// the headline number of BENCH_PR7.
+func BenchmarkSweepFameNaive(b *testing.B) {
+	req := benchSweepReq()
+	for i := 0; i < b.N; i++ {
+		for _, tbase := range req.Grid["tbase"] {
+			for _, at := range req.Grid["at"] {
+				single := &SweepRequest{
+					Family: req.Family,
+					Params: req.Params,
+					Grid:   map[string][]any{"tbase": {tbase}, "at": {at}},
+				}
+				s := New(Config{QueueWorkers: 1, QueueDepth: 4})
+				resp, err := s.RunSweep(context.Background(), single, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Completed != 1 {
+					b.Fatalf("point tbase=%v at=%v failed: %+v", tbase, at, resp.Results[0].Error)
+				}
+				s.Close()
+			}
+		}
+	}
+}

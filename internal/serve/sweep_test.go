@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fameSweep3x3 is the acceptance grid: 3 tbase values (rate role) × 3
+// query times (measure role) over one structural configuration.
+func fameSweep3x3() *SweepRequest {
+	return &SweepRequest{
+		Family: "fame",
+		Params: map[string]any{"nodes": 4, "erlang_k": 2},
+		Grid: map[string][]any{
+			"tbase": []any{1.0, 2.0, 4.0},
+			"at":    []any{0.5, 1.0, 2.0},
+		},
+	}
+}
+
+// TestSweepSharesArtifacts is the PR's acceptance test: a 3×3 fame sweep
+// returns per-grid-point measures byte-identical to running each instance
+// individually on a fresh server, while the server's build counters show
+// strictly fewer artifact builds than grid points.
+func TestSweepSharesArtifacts(t *testing.T) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	resp, err := s.RunSweep(context.Background(), fameSweep3x3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GridPoints != 9 || resp.Completed != 9 || resp.Failed != 0 {
+		t.Fatalf("sweep = %d points, %d completed, %d failed: %+v",
+			resp.GridPoints, resp.Completed, resp.Failed, resp.ErrorCounts)
+	}
+	if resp.DistinctModels != 1 {
+		t.Errorf("distinct models = %d, want 1 (only rates and times vary)", resp.DistinctModels)
+	}
+
+	// The sharing evidence: one family model, one functional model, one
+	// perf model per tbase (3), one measure per grid point (9). The model
+	// and composition layers must build strictly fewer artifacts than
+	// there are grid points.
+	b := resp.Builds
+	if b.Family != 1 || b.Functional != 1 || b.Perf != 3 || b.Measure != 9 {
+		t.Errorf("builds = %+v, want family=1 functional=1 perf=3 measure=9", b)
+	}
+	if got := b.Family + b.Functional + b.Perf; got >= int64(resp.GridPoints) {
+		t.Errorf("model+composition builds %d not < %d grid points", got, resp.GridPoints)
+	}
+	if resp.CacheHits == 0 {
+		t.Error("sweep reports zero cache hits")
+	}
+	st := s.Stats()
+	if st.Builds.Perf >= int64(resp.GridPoints) {
+		t.Errorf("stats: %d state-space extractions for %d grid points", st.Builds.Perf, resp.GridPoints)
+	}
+
+	// Byte-identical per-point results: each point rerun individually on
+	// a cold server must produce the same JSON, modulo the cache_hit
+	// marker (the sweep's later points legitimately hit the cache).
+	for _, sp := range resp.Results {
+		if sp.Result == nil {
+			t.Fatalf("point %d missing result", sp.Index)
+		}
+		single := &SweepRequest{
+			Family: "fame",
+			Params: map[string]any{"nodes": 4, "erlang_k": 2},
+			Grid: map[string][]any{
+				"tbase": []any{sp.Point["tbase"]},
+				"at":    []any{sp.Point["at"]},
+			},
+		}
+		fresh := New(Config{QueueWorkers: 1, QueueDepth: 4})
+		freshResp, err := fresh.RunSweep(context.Background(), single, nil)
+		fresh.Close()
+		if err != nil {
+			t.Fatalf("point %d rerun: %v", sp.Index, err)
+		}
+		if freshResp.Completed != 1 {
+			t.Fatalf("point %d rerun failed: %+v", sp.Index, freshResp.Results[0].Error)
+		}
+		if got, want := canonicalResult(t, sp.Result), canonicalResult(t, freshResp.Results[0].Result); got != want {
+			t.Errorf("point %d diverges from individual run:\n sweep: %s\n alone: %s", sp.Index, got, want)
+		}
+	}
+}
+
+// canonicalResult renders a Result as JSON with the cache marker cleared.
+func canonicalResult(t *testing.T, r *Result) string {
+	t.Helper()
+	c := *r
+	c.CacheHit = false
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSweepWarmRerun: repeating an identical sweep on the same server
+// performs no new builds at all.
+func TestSweepWarmRerun(t *testing.T) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	if _, err := s.RunSweep(context.Background(), fameSweep3x3(), nil); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.RunSweep(context.Background(), fameSweep3x3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Builds.Total() != 0 {
+		t.Errorf("warm sweep performed builds: %+v", warm.Builds)
+	}
+	if warm.Completed != 9 {
+		t.Errorf("warm sweep completed %d/9", warm.Completed)
+	}
+	for _, sp := range warm.Results {
+		if sp.Result != nil && !sp.Result.CacheHit {
+			t.Errorf("warm point %d not marked as cache hit", sp.Index)
+		}
+	}
+}
+
+// TestSweepErrorTaxonomy: the unsafe fork variant wedges (its decorated
+// chain is not irreducible), but the sweep continues and classifies the
+// failure per point instead of dying.
+func TestSweepErrorTaxonomy(t *testing.T) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	resp, err := s.RunSweep(context.Background(), &SweepRequest{
+		Family: "faust",
+		Grid: map[string][]any{
+			"variant": []any{"wait-both", "unsafe"},
+			"rate_b":  []any{1.0, 2.0},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GridPoints != 4 {
+		t.Fatalf("grid points = %d", resp.GridPoints)
+	}
+	if resp.Completed != 2 || resp.Failed != 2 {
+		t.Fatalf("completed=%d failed=%d, want 2/2: %+v", resp.Completed, resp.Failed, resp.Results)
+	}
+	if resp.ErrorCounts["not_irreducible"] != 2 {
+		t.Errorf("error counts = %v, want not_irreducible: 2", resp.ErrorCounts)
+	}
+	for _, sp := range resp.Results {
+		switch sp.Point["variant"] {
+		case "wait-both":
+			if sp.Result == nil {
+				t.Errorf("wait-both point %d failed: %+v", sp.Index, sp.Error)
+			}
+		case "unsafe":
+			if sp.Error == nil || sp.Error.Code != "not_irreducible" {
+				t.Errorf("unsafe point %d error = %+v, want not_irreducible", sp.Index, sp.Error)
+			}
+		}
+	}
+}
+
+// TestSweepChecks: property queries evaluate once per functional model
+// and land on every point.
+func TestSweepChecks(t *testing.T) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	resp, err := s.RunSweep(context.Background(), &SweepRequest{
+		Family: "fame",
+		Params: map[string]any{"nodes": 4},
+		Grid:   map[string][]any{"tbase": []any{1.0, 2.0, 3.0}},
+		Check:  []string{"deadlockfree", "reachable:round"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completed != 3 {
+		t.Fatalf("completed %d/3: %+v", resp.Completed, resp.ErrorCounts)
+	}
+	for _, sp := range resp.Results {
+		if len(sp.Result.Checks) != 2 {
+			t.Fatalf("point %d has %d checks", sp.Index, len(sp.Result.Checks))
+		}
+		for _, c := range sp.Result.Checks {
+			if !c.Holds {
+				t.Errorf("point %d: %q does not hold on the round-trip model", sp.Index, c.Query)
+			}
+		}
+	}
+	// One functional model across the grid — the two checks ran once
+	// each, not once per point.
+	if got := s.Stats().Builds.Check; got != 2 {
+		t.Errorf("check builds = %d, want 2", got)
+	}
+}
+
+// TestSweepHTTP: the JSON endpoint end to end, including a stats delta
+// proving the grid shared its artifacts.
+func TestSweepHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 16})
+
+	status, body := postJSON(t, ts.URL+"/v1/sweeps", fameSweep3x3())
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding response: %v\nbody: %s", err, body)
+	}
+	if resp.Family != "fame" || resp.Completed != 9 || resp.Failed != 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(resp.Results) != 9 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	st := serverStats(t, ts.URL)
+	if st.Builds.Family+st.Builds.Functional+st.Builds.Perf >= 9 {
+		t.Errorf("stats builds %+v show no sharing over 9 grid points", st.Builds)
+	}
+
+	// Shape errors are global 4xx, not per-point.
+	status, body = postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Family: "nonesuch",
+		Grid: map[string][]any{"x": []any{1}}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown family: status %d: %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "bad_request" || !strings.Contains(e.Message, "nonesuch") {
+		t.Errorf("error = %+v", e)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Family: "fame"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty grid: status %d: %s", status, body)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/sweeps"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepSSE: the streaming rollup emits one point event per instance
+// and a final aggregated result.
+func TestSweepSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 16})
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, &SweepRequest{
+		Family: "xstream",
+		Grid:   map[string][]any{"mu": []any{1.0, 2.0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweeps", &buf)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := raw.String()
+	if got := strings.Count(text, "event: point\n"); got != 2 {
+		t.Fatalf("saw %d point events, want 2\n%s", got, text)
+	}
+	i := strings.Index(text, "event: result\ndata: ")
+	if i < 0 {
+		t.Fatalf("no result event:\n%s", text)
+	}
+	line := text[i+len("event: result\ndata: "):]
+	line = line[:strings.Index(line, "\n")]
+	var sr SweepResponse
+	if err := json.Unmarshal([]byte(line), &sr); err != nil {
+		t.Fatalf("decoding result event: %v\n%s", err, line)
+	}
+	if sr.Completed != 2 || sr.Failed != 0 {
+		t.Errorf("streamed result = %+v", sr)
+	}
+}
+
+// TestSweepPointOrderAndCallback: the response lists points in grid
+// order regardless of completion order, and the callback sees each point
+// exactly once.
+func TestSweepPointOrderAndCallback(t *testing.T) {
+	s := New(Config{QueueWorkers: 4, QueueDepth: 32})
+	defer s.Close()
+
+	seen := map[int]int{}
+	resp, err := s.RunSweep(context.Background(), &SweepRequest{
+		Family:      "xstream",
+		Concurrency: 4,
+		Grid: map[string][]any{
+			"capacity": []any{1, 2, 3},
+			"mu":       []any{1.0, 2.0},
+		},
+	}, func(sp SweepPoint) { seen[sp.Index]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completed != 6 {
+		t.Fatalf("completed %d/6: %+v", resp.Completed, resp.ErrorCounts)
+	}
+	for i, sp := range resp.Results {
+		if sp.Index != i {
+			t.Errorf("results[%d] has index %d", i, sp.Index)
+		}
+		if seen[i] != 1 {
+			t.Errorf("callback saw point %d %d times", i, seen[i])
+		}
+	}
+	// capacity is structural: three distinct component identities.
+	if resp.DistinctModels != 3 {
+		t.Errorf("distinct models = %d, want 3", resp.DistinctModels)
+	}
+}
+
+// TestSweepFamilyModelPublished: sweeps publish their component models in
+// the model store, so a follow-up /v1/solve can address them by digest.
+func TestSweepFamilyModelPublished(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 8})
+
+	status, body := postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{
+		Family: "faust",
+		Grid:   map[string][]any{"rate_b": []any{1.0}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	hash := resp.Results[0].Result.ModelHash
+	if hash == "" {
+		t.Fatal("sweep result has no model hash")
+	}
+	status, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		ModelHash: hash,
+		Minimize:  "branching",
+		Rates:     map[string]float64{"b": 1, "c": 1},
+		Markers:   []string{"b"},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("solve by sweep-published hash: status %d: %s", status, body)
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 
 	"multival"
+	"multival/internal/phasetype"
 )
 
 // SolveRequest is the body of POST /v1/solve: one pipeline execution —
@@ -53,6 +55,13 @@ type SolveRequest struct {
 	At         *float64 `json:"at,omitempty"`
 	MeanTimeTo []string `json:"mean_time_to,omitempty"`
 	Bounds     []string `json:"bounds,omitempty"`
+
+	// Check lists modal mu-calculus property queries (mcl presets like
+	// "deadlock" or "reachable:LABEL", or raw formulas) evaluated
+	// server-side against the functional model — after minimization,
+	// before decoration. Verdicts are cached by (functional model,
+	// query).
+	Check []string `json:"check,omitempty"`
 
 	// UniformScheduler resolves internal nondeterminism uniformly
 	// instead of rejecting it.
@@ -99,6 +108,16 @@ type Result struct {
 	// Bounds maps queried labels to [min, max] throughput over all
 	// deterministic schedulers.
 	Bounds map[string][2]float64 `json:"bounds,omitempty"`
+	// Checks lists the model-checking verdicts of the request's property
+	// queries, in request order.
+	Checks []QueryCheck `json:"checks,omitempty"`
+}
+
+// QueryCheck is one server-side model-checking verdict: the query as
+// submitted plus the result of evaluating it on the functional model.
+type QueryCheck struct {
+	Query string `json:"query"`
+	CheckResult
 }
 
 // StateProb is one entry of a probability vector: the CTMC state, the
@@ -143,6 +162,72 @@ type CheckResult struct {
 	SatCount  int      `json:"sat_count"`
 	NumStates int      `json:"num_states"`
 	Witness   []string `json:"witness,omitempty"`
+}
+
+// FitResult is the wire form of a phase-type fit (cmd/evaluate -fit):
+// the sample statistics, the fitted distribution, and its rates spelled
+// as sweep-usable parameters (keys ready for a sweep request's params).
+type FitResult struct {
+	N            int     `json:"n"`
+	Mean         float64 `json:"mean"`
+	SCV          float64 `json:"scv"`
+	Distribution string  `json:"distribution"`
+	Phases       int     `json:"phases"`
+	// FittedMean/FittedSCV are the moments of the fitted distribution
+	// (the SCV may differ from the sample's on the Erlang branch, which
+	// matches it only from below).
+	FittedMean float64 `json:"fitted_mean"`
+	FittedSCV  float64 `json:"fitted_scv"`
+	// Params holds the distribution's defining rates: "rate" for
+	// exponential/Erlang phases, "rate1"/"rate2"/"p" for a two-phase
+	// Coxian. These plug directly into rate parameters of a sweep.
+	Params map[string]float64 `json:"params"`
+}
+
+// FitResultFrom assembles the wire form of a fitted distribution. The
+// parameter spelling depends on the shape MomentMatch2/FitFixedDelay can
+// produce: one "rate" for exponential and Erlang fits (all phases share
+// the rate), "rate1"/"rate2"/"p" for the two-phase Coxian.
+func FitResultFrom(d *phasetype.Distribution, st phasetype.SampleStats) *FitResult {
+	k := d.NumPhases()
+	res := &FitResult{
+		N:            st.N,
+		Mean:         st.Mean,
+		SCV:          st.SCV,
+		Distribution: d.Name,
+		Phases:       k,
+		FittedMean:   d.Mean(),
+		FittedSCV:    d.SCV(),
+		Params:       map[string]float64{},
+	}
+	// Total outflow rate of each phase.
+	total := make([]float64, k)
+	for i := 0; i < k; i++ {
+		total[i] = d.Exit[i]
+		for j := 0; j < k; j++ {
+			total[i] += d.Rates[i][j]
+		}
+	}
+	uniform := true
+	for _, t := range total[1:] {
+		if math.Abs(t-total[0]) > 1e-9*total[0] {
+			uniform = false
+			break
+		}
+	}
+	switch {
+	case uniform:
+		res.Params["rate"] = total[0]
+	case k == 2:
+		res.Params["rate1"] = total[0]
+		res.Params["rate2"] = total[1]
+		res.Params["p"] = d.Rates[0][1] / total[0]
+	default:
+		for i, t := range total {
+			res.Params[fmt.Sprintf("rate%d", i+1)] = t
+		}
+	}
+	return res
 }
 
 // Error is a structured wire error: a stable machine-readable code plus

@@ -1,0 +1,114 @@
+// Race coverage for concurrent sweep execution: the CI race job runs this
+// package with the race detector, and the container may be single-core,
+// so concurrency is forced through explicit worker counts rather than
+// GOMAXPROCS.
+package sweep_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"multival/internal/serve"
+	"multival/internal/sweep"
+)
+
+// TestConcurrentSweepExecution drives a grid through the serve layer with
+// four queue workers and four in-flight instances, twice concurrently, so
+// the planner, the shared artifact cache and the build counters are
+// exercised from many goroutines at once.
+func TestConcurrentSweepExecution(t *testing.T) {
+	s := serve.New(serve.Config{QueueWorkers: 4, QueueDepth: 32})
+	defer s.Close()
+
+	req := func() *serve.SweepRequest {
+		return &serve.SweepRequest{
+			Family:      "xstream",
+			Concurrency: 4,
+			Grid: map[string][]any{
+				"capacity": []any{1, 2, 3},
+				"mu":       []any{1.0, 2.0},
+				"lambda":   []any{0.5, 1.5},
+			},
+		}
+	}
+
+	var wg sync.WaitGroup
+	responses := make([]*serve.SweepResponse, 2)
+	errs := make([]error, 2)
+	for i := range responses {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = s.RunSweep(context.Background(), req(), nil)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+		r := responses[i]
+		if r.Completed != 12 || r.Failed != 0 {
+			t.Fatalf("sweep %d: completed=%d failed=%d %+v", i, r.Completed, r.Failed, r.ErrorCounts)
+		}
+	}
+	// Concurrent identical sweeps share builds: across 24 instance
+	// executions only 3 structural configurations exist, so the model
+	// layer built at most 3 artifacts in total. (The per-response deltas
+	// overlap in time and may double-count each other's builds; the
+	// server's global counter is the ground truth.)
+	if got := s.Stats().Builds.Family; got > 3 {
+		t.Errorf("concurrent sweeps built %d family models for 3 configurations", got)
+	}
+
+	// Per-point results of both racing sweeps agree.
+	for i := range responses[0].Results {
+		a, b := responses[0].Results[i], responses[1].Results[i]
+		if a.Result == nil || b.Result == nil {
+			t.Fatalf("point %d missing result", i)
+		}
+		at, bt := a.Result.Throughputs, b.Result.Throughputs
+		if len(at) != len(bt) {
+			t.Fatalf("point %d throughput sets differ", i)
+		}
+		for k, v := range at {
+			if bv, ok := bt[k]; !ok || bv != v {
+				t.Errorf("point %d throughput %q: %v vs %v", i, k, v, bt[k])
+			}
+		}
+	}
+}
+
+// TestConcurrentExpand hammers grid expansion and family lookup from many
+// goroutines — the registry is read-only after init and must be safe to
+// share.
+func TestConcurrentExpand(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, fam := range []string{"fame", "faust", "xstream", "chp"} {
+				f, ok := sweep.Lookup(fam)
+				if !ok {
+					t.Errorf("family %s missing", fam)
+					return
+				}
+				pts, err := sweep.Expand(f, nil, map[string][]any{"at": {0.0, 1.0}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, p := range pts {
+					if _, err := f.Build(p.Values); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,387 @@
+// Package sweep is the parameter-sweep planner over the model-family
+// registry: a request names a parameterized family (fame, faust, xstream,
+// chp, or inline LOTOS text) plus a grid of parameter values, and the
+// planner expands it into fully resolved pipeline instances. Instance
+// specs are canonical — equal structural parameters yield equal component
+// keys, equal decorations yield equal rate maps — so the serve layer's
+// content-addressed artifact cache shares model builds, functional
+// compositions and lumped quotients across the grid instead of
+// recomputing them per point.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"multival/internal/lts"
+)
+
+// Kind is the value type of a parameter.
+type Kind int
+
+const (
+	Int Kind = iota
+	Float
+	String
+	Bool
+)
+
+// String names the kind for docs and errors.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return "unknown"
+	}
+}
+
+// Role classifies how a parameter shapes the pipeline — which cache layer
+// a change of its value invalidates.
+type Role int
+
+const (
+	// Structural parameters change the component models themselves
+	// (sizes, topologies, variants): varying one rebuilds models and
+	// everything below.
+	Structural Role = iota
+	// Rate parameters change only the decoration: the functional
+	// artifacts (models, composition, minimization) stay shared.
+	Rate
+	// Measure parameters change only what is asked of the solved chain
+	// (e.g. the transient query time): even the lumped CTMC is shared.
+	Measure
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case Structural:
+		return "structural"
+	case Rate:
+		return "rate"
+	case Measure:
+		return "measure"
+	default:
+		return "unknown"
+	}
+}
+
+// Param declares one parameter of a family.
+type Param struct {
+	Name string
+	Kind Kind
+	Role Role
+	Doc  string
+	// Default is the value used when the parameter is neither fixed nor
+	// swept; nil makes the parameter required.
+	Default any
+	// Min/Max bound numeric values inclusively when Bounded is set;
+	// Positive additionally requires the value to be strictly positive.
+	Bounded  bool
+	Min, Max float64
+	Positive bool
+	// Enum lists the admissible values of a String parameter.
+	Enum []string
+}
+
+// Values maps parameter names to normalized values (int, float64, string
+// or bool).
+type Values map[string]any
+
+// Component is one composition operand of an instance: a canonical
+// structural identity plus the build it addresses. The serve layer keys
+// its artifact cache by Key, so Build runs at most once per distinct
+// structural configuration across a sweep (and across sweeps).
+type Component struct {
+	Key   string
+	Build func() (*lts.LTS, error)
+}
+
+// Instance is the fully resolved pipeline description of one grid point,
+// mirroring the serve layer's solve request: functional prefix
+// (components, sync, hide, minimize), decoration (rates, markers), and
+// measure selection.
+type Instance struct {
+	Components []Component
+	Sync       []string
+	Hide       []string
+	Minimize   string
+	Rates      map[string]float64
+	Markers    []string
+	MeanTimeTo []string
+	// At > 0 selects the transient distribution at that time; otherwise
+	// the steady state is solved.
+	At float64
+	// UniformScheduler resolves internal nondeterminism uniformly
+	// (required by families with arbiters, e.g. the chp router).
+	UniformScheduler bool
+}
+
+// Family is a named parameterized model family.
+type Family struct {
+	Name   string
+	Doc    string
+	Params []Param
+	// AllowExtra admits parameters not declared in Params (the lotos
+	// family's template and per-gate rate parameters).
+	AllowExtra bool
+	// Build resolves normalized values into a pipeline instance. It must
+	// be cheap and deterministic: the expensive state-space generation
+	// belongs in the component Build closures, which the server caches.
+	Build func(vals Values) (*Instance, error)
+}
+
+// Point is one expanded grid point.
+type Point struct {
+	Index int
+	// Coord holds the swept axes only (the point's identity in reports).
+	Coord map[string]any
+	// Values holds every parameter, defaulted and normalized.
+	Values Values
+}
+
+// MaxPoints bounds a single sweep's grid expansion: a runaway cross
+// product must fail loudly at planning time, not melt the queue.
+const MaxPoints = 1024
+
+// param looks up a declared parameter.
+func (f *Family) param(name string) (Param, bool) {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// normalize coerces and validates one value against a parameter
+// declaration. JSON numbers arrive as float64; integral floats are
+// accepted for Int parameters.
+func normalize(p Param, v any) (any, error) {
+	fail := func(format string, args ...any) (any, error) {
+		return nil, fmt.Errorf("parameter %q: %s", p.Name, fmt.Sprintf(format, args...))
+	}
+	switch p.Kind {
+	case Int:
+		var n int
+		switch x := v.(type) {
+		case int:
+			n = x
+		case int64:
+			n = int(x)
+		case float64:
+			if x != math.Trunc(x) || math.Abs(x) > 1<<52 {
+				return fail("want an integer, got %v", x)
+			}
+			n = int(x)
+		default:
+			return fail("want an int, got %T", v)
+		}
+		if p.Positive && n <= 0 {
+			return fail("must be > 0, got %d", n)
+		}
+		if p.Bounded && (float64(n) < p.Min || float64(n) > p.Max) {
+			return fail("%d out of %g..%g", n, p.Min, p.Max)
+		}
+		return n, nil
+	case Float:
+		var f float64
+		switch x := v.(type) {
+		case float64:
+			f = x
+		case int:
+			f = float64(x)
+		case int64:
+			f = float64(x)
+		default:
+			return fail("want a float, got %T", v)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fail("must be finite, got %v", f)
+		}
+		if p.Positive && f <= 0 {
+			return fail("must be > 0, got %v", f)
+		}
+		if p.Bounded && (f < p.Min || f > p.Max) {
+			return fail("%v out of %g..%g", f, p.Min, p.Max)
+		}
+		return f, nil
+	case String:
+		s, ok := v.(string)
+		if !ok {
+			return fail("want a string, got %T", v)
+		}
+		if len(p.Enum) > 0 {
+			for _, e := range p.Enum {
+				if s == e {
+					return s, nil
+				}
+			}
+			return fail("%q not one of %s", s, strings.Join(p.Enum, ", "))
+		}
+		return s, nil
+	case Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return fail("want a bool, got %T", v)
+		}
+		return b, nil
+	}
+	return fail("unknown kind %d", p.Kind)
+}
+
+// normalizeExtra coerces an undeclared value for AllowExtra families:
+// integral floats become ints (template parameters), the rest keep their
+// JSON type.
+func normalizeExtra(name string, v any) (any, error) {
+	switch x := v.(type) {
+	case bool, string, int:
+		return x, nil
+	case int64:
+		return int(x), nil
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("parameter %q: must be finite", name)
+		}
+		if x == math.Trunc(x) && math.Abs(x) <= 1<<52 && !strings.HasPrefix(name, "rate_") {
+			return int(x), nil
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("parameter %q: unsupported type %T", name, v)
+	}
+}
+
+// Expand resolves a family, fixed parameter values and a grid of swept
+// axes into the full cross product of points, in a deterministic order:
+// axes sorted by name, rightmost axis fastest. Every value is normalized
+// against its declaration; required parameters must be fixed or swept.
+func Expand(fam *Family, fixed map[string]any, grid map[string][]any) ([]Point, error) {
+	norm := func(name string, v any) (any, error) {
+		if p, ok := fam.param(name); ok {
+			return normalize(p, v)
+		}
+		if fam.AllowExtra {
+			return normalizeExtra(name, v)
+		}
+		return nil, fmt.Errorf("family %q has no parameter %q", fam.Name, name)
+	}
+
+	base := Values{}
+	for _, p := range fam.Params {
+		if p.Default != nil {
+			// Defaults go through the same normalization as user values,
+			// so a family definition with an out-of-shape default fails
+			// loudly instead of poisoning Build's type assertions.
+			dv, err := normalize(p, p.Default)
+			if err != nil {
+				return nil, fmt.Errorf("family %q default: %v", fam.Name, err)
+			}
+			base[p.Name] = dv
+		}
+	}
+	for name, v := range fixed {
+		if _, swept := grid[name]; swept {
+			return nil, fmt.Errorf("parameter %q is both fixed and swept", name)
+		}
+		nv, err := norm(name, v)
+		if err != nil {
+			return nil, err
+		}
+		base[name] = nv
+	}
+
+	axes := make([]string, 0, len(grid))
+	total := 1
+	for name, vals := range grid {
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("grid axis %q is empty", name)
+		}
+		axes = append(axes, name)
+		total *= len(vals)
+		if total > MaxPoints {
+			return nil, fmt.Errorf("grid expands to more than %d points", MaxPoints)
+		}
+	}
+	sort.Strings(axes)
+
+	normGrid := make(map[string][]any, len(grid))
+	for _, name := range axes {
+		vals := make([]any, len(grid[name]))
+		for i, v := range grid[name] {
+			nv, err := norm(name, v)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = nv
+		}
+		normGrid[name] = vals
+	}
+
+	for _, p := range fam.Params {
+		if p.Default != nil {
+			continue
+		}
+		if _, ok := base[p.Name]; ok {
+			continue
+		}
+		if _, ok := normGrid[p.Name]; !ok {
+			return nil, fmt.Errorf("family %q requires parameter %q", fam.Name, p.Name)
+		}
+	}
+
+	points := make([]Point, 0, total)
+	idx := make([]int, len(axes))
+	for i := 0; i < total; i++ {
+		coord := make(map[string]any, len(axes))
+		vals := make(Values, len(base)+len(axes))
+		for k, v := range base {
+			vals[k] = v
+		}
+		for a, name := range axes {
+			v := normGrid[name][idx[a]]
+			coord[name] = v
+			vals[name] = v
+		}
+		points = append(points, Point{Index: i, Coord: coord, Values: vals})
+		for a := len(axes) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(normGrid[axes[a]]) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return points, nil
+}
+
+// KeyFor builds the canonical structural identity of a component: the
+// family tag plus the canonical JSON of its structural parameters
+// (encoding/json sorts map keys, so equal maps give equal keys). The
+// serve layer content-addresses component builds by this string.
+func KeyFor(tag string, structural map[string]any) string {
+	b, err := json.Marshal(structural)
+	if err != nil {
+		// Structural maps hold only ints, floats, strings and bools;
+		// Marshal cannot fail on them.
+		panic(err)
+	}
+	return tag + ":" + string(b)
+}
+
+// Int / Float / Str / Boolean read a normalized value with a type
+// assertion that cannot fail after Expand.
+func (v Values) Int(name string) int       { return v[name].(int) }
+func (v Values) Float(name string) float64 { return v[name].(float64) }
+func (v Values) Str(name string) string    { return v[name].(string) }
+func (v Values) Boolean(name string) bool  { return v[name].(bool) }

@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"multival/internal/lts"
+)
+
+func TestExpandGridOrder(t *testing.T) {
+	fam, ok := Lookup("fame")
+	if !ok {
+		t.Fatal("fame family not registered")
+	}
+	pts, err := Expand(fam, map[string]any{"nodes": 4}, map[string][]any{
+		"tbase": {1.0, 2.0, 3.0},
+		"at":    {0.5, 1.0, 1.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("got %d points, want 9", len(pts))
+	}
+	// Axes sorted by name (at < tbase), rightmost fastest: tbase cycles
+	// within each at value.
+	want := []map[string]any{
+		{"at": 0.5, "tbase": 1.0}, {"at": 0.5, "tbase": 2.0}, {"at": 0.5, "tbase": 3.0},
+		{"at": 1.0, "tbase": 1.0}, {"at": 1.0, "tbase": 2.0}, {"at": 1.0, "tbase": 3.0},
+		{"at": 1.5, "tbase": 1.0}, {"at": 1.5, "tbase": 2.0}, {"at": 1.5, "tbase": 3.0},
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Errorf("point %d has index %d", i, p.Index)
+		}
+		if !reflect.DeepEqual(p.Coord, want[i]) {
+			t.Errorf("point %d coord = %v, want %v", i, p.Coord, want[i])
+		}
+		// Fixed and defaulted values are present, normalized.
+		if p.Values.Int("nodes") != 4 {
+			t.Errorf("point %d nodes = %v", i, p.Values["nodes"])
+		}
+		if p.Values.Str("topology") != "ring" {
+			t.Errorf("point %d topology = %v, want default ring", i, p.Values["topology"])
+		}
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	fam, _ := Lookup("xstream")
+	grid := map[string][]any{"stages": {1, 2}, "mu": {1.0, 2.0}, "lambda": {0.5}}
+	a, err := Expand(fam, nil, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(fam, nil, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated Expand of the same grid differs")
+	}
+}
+
+func TestExpandNormalizesIntegralFloats(t *testing.T) {
+	// JSON decodes numbers to float64; Int parameters must accept
+	// integral floats and reject fractional ones.
+	fam, _ := Lookup("xstream")
+	pts, err := Expand(fam, map[string]any{"stages": 2.0}, map[string][]any{"capacity": {1.0, 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pts[0].Values.Int("stages"); got != 2 {
+		t.Errorf("stages = %d, want 2", got)
+	}
+	if _, err := Expand(fam, map[string]any{"stages": 1.5}, map[string][]any{"capacity": {1}}); err == nil {
+		t.Error("fractional float accepted for an int parameter")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	fam, _ := Lookup("fame")
+	lotosFam, _ := Lookup("lotos")
+	cases := []struct {
+		name  string
+		fam   *Family
+		fixed map[string]any
+		grid  map[string][]any
+		want  string
+	}{
+		{"unknown param", fam, map[string]any{"bogus": 1}, map[string][]any{"tbase": {1.0}}, "no parameter"},
+		{"fixed and swept", fam, map[string]any{"tbase": 1.0}, map[string][]any{"tbase": {1.0, 2.0}}, "both fixed and swept"},
+		{"empty axis", fam, nil, map[string][]any{"tbase": {}}, "is empty"},
+		{"out of bounds", fam, map[string]any{"nodes": 99}, map[string][]any{"tbase": {1.0}}, "out of"},
+		{"not positive", fam, nil, map[string][]any{"tbase": {0.0}}, "must be > 0"},
+		{"bad enum", fam, map[string]any{"topology": "torus"}, map[string][]any{"tbase": {1.0}}, "not one of"},
+		{"wrong type", fam, map[string]any{"topology": 3}, map[string][]any{"tbase": {1.0}}, "want a string"},
+		{"missing required", lotosFam, nil, map[string][]any{"rate_a": {1.0}}, "requires parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Expand(tc.fam, tc.fixed, tc.grid)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpandPointCap(t *testing.T) {
+	fam, _ := Lookup("fame")
+	big := make([]any, 40)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	_, err := Expand(fam, nil, map[string][]any{"tbase": big, "thop": big})
+	if err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Errorf("1600-point grid accepted: %v", err)
+	}
+}
+
+func TestComponentKeysShareAcrossRateChanges(t *testing.T) {
+	// Two grid points differing only in Rate-role parameters must produce
+	// identical component keys — that identity is what the server's cache
+	// shares. A structural change must produce a different key.
+	for _, name := range []string{"fame", "faust", "xstream", "chp"} {
+		t.Run(name, func(t *testing.T) {
+			fam, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("family %s not registered", name)
+			}
+			vals := func(extra map[string]any) Values {
+				pts, err := Expand(fam, extra, map[string][]any{"at": {0.0}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pts[0].Values
+			}
+			rateParam := map[string]string{
+				"fame": "tbase", "faust": "rate_b", "xstream": "lambda", "chp": "rate_in",
+			}[name]
+			structParam := map[string]any{
+				"fame": map[string]any{"nodes": 6}, "faust": map[string]any{"values": 3},
+				"xstream": map[string]any{"capacity": 3}, "chp": map[string]any{"ports": 3},
+			}[name]
+
+			base, err := fam.Build(vals(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rated, err := fam.Build(vals(map[string]any{rateParam: 7.5}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(base.Components) != len(rated.Components) {
+				t.Fatalf("component count changed under a rate change")
+			}
+			for i := range base.Components {
+				if base.Components[i].Key != rated.Components[i].Key {
+					t.Errorf("rate change altered component key %d:\n  %s\n  %s",
+						i, base.Components[i].Key, rated.Components[i].Key)
+				}
+			}
+			restruct, err := fam.Build(vals(structParam.(map[string]any)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Components[0].Key == restruct.Components[0].Key {
+				t.Errorf("structural change kept component key %s", base.Components[0].Key)
+			}
+		})
+	}
+}
+
+func TestFamilyBuildsProduceModels(t *testing.T) {
+	// Every registered family's default instance must build all its
+	// components into non-empty LTSs with the decorated gates present.
+	for _, fam := range Registered() {
+		t.Run(fam.Name, func(t *testing.T) {
+			fixed := map[string]any{}
+			if fam.Name == "lotos" {
+				fixed["src"] = "process P := a; P endproc behaviour P"
+				fixed["rate_a"] = 2.0
+			}
+			pts, err := Expand(fam, fixed, map[string][]any{"at": {0.0}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := fam.Build(pts[0].Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(inst.Components) == 0 {
+				t.Fatal("instance has no components")
+			}
+			if len(inst.Rates) == 0 {
+				t.Fatal("instance has no rates")
+			}
+			gates := map[string]bool{}
+			for i, c := range inst.Components {
+				if c.Key == "" {
+					t.Fatalf("component %d has empty key", i)
+				}
+				l, err := c.Build()
+				if err != nil {
+					t.Fatalf("component %d build: %v", i, err)
+				}
+				if l.NumStates() == 0 || l.NumTransitions() == 0 {
+					t.Fatalf("component %d is empty", i)
+				}
+				l.EachTransition(func(tr lts.Transition) {
+					gates[lts.Gate(l.LabelName(tr.Label))] = true
+				})
+			}
+			for g := range inst.Rates {
+				if !gates[g] {
+					t.Errorf("rate gate %q has no transitions in any component", g)
+				}
+			}
+		})
+	}
+}
+
+func TestKeyForCanonical(t *testing.T) {
+	a := KeyFor("t", map[string]any{"x": 1, "y": "s"})
+	b := KeyFor("t", map[string]any{"y": "s", "x": 1})
+	if a != b {
+		t.Errorf("map insertion order leaked into key: %s vs %s", a, b)
+	}
+	if KeyFor("t", map[string]any{"x": 1}) == KeyFor("u", map[string]any{"x": 1}) {
+		t.Error("tag not part of key")
+	}
+}
+
+func TestLotosTemplateSubstitution(t *testing.T) {
+	fam, _ := Lookup("lotos")
+	src := "process P := a; P endproc behaviour P (* n=${n} *)"
+	pts, err := Expand(fam, map[string]any{"src": src, "rate_a": 1.0}, map[string][]any{"n": {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, p := range pts {
+		inst, err := fam.Build(p.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[inst.Components[0].Key] = true
+		if strings.Contains(inst.Components[0].Key, "${") {
+			t.Errorf("unsubstituted placeholder in key %s", inst.Components[0].Key)
+		}
+	}
+	if len(keys) != 2 {
+		t.Errorf("template values n=2,3 produced %d distinct keys, want 2", len(keys))
+	}
+
+	// Template parameter without a placeholder is rejected.
+	pts, err = Expand(fam, map[string]any{
+		"src": "process P := a; P endproc behaviour P", "rate_a": 1.0, "m": 4,
+	}, map[string][]any{"at": {0.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fam.Build(pts[0].Values); err == nil || !strings.Contains(err.Error(), "placeholder") {
+		t.Errorf("missing placeholder not rejected: %v", err)
+	}
+}
+
+func TestNamesAndLookup(t *testing.T) {
+	names := Names()
+	want := []string{"chp", "fame", "faust", "lotos", "xstream"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Names() = %v, want %v", names, want)
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Error("Lookup accepted an unknown family")
+	}
+	for i, f := range Registered() {
+		if f.Name != names[i] {
+			t.Errorf("Registered()[%d] = %s, want %s", i, f.Name, names[i])
+		}
+	}
+}
+
+func TestParamDocsComplete(t *testing.T) {
+	// Registry hygiene: every parameter carries a doc string and a valid
+	// default (or is explicitly required).
+	for _, fam := range Registered() {
+		for _, p := range fam.Params {
+			if p.Doc == "" {
+				t.Errorf("%s.%s has no doc", fam.Name, p.Name)
+			}
+			if p.Default != nil {
+				if _, err := normalize(p, p.Default); err != nil {
+					t.Errorf("%s.%s default invalid: %v", fam.Name, p.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func ExampleExpand() {
+	fam, _ := Lookup("xstream")
+	pts, _ := Expand(fam, map[string]any{"capacity": 2}, map[string][]any{
+		"stages": {1, 2},
+		"mu":     {1.0, 2.0},
+	})
+	// Axes run sorted by name ("mu" before "stages"), rightmost fastest.
+	for _, p := range pts {
+		fmt.Printf("stages=%v mu=%v\n", p.Coord["stages"], p.Coord["mu"])
+	}
+	// Output:
+	// stages=1 mu=1
+	// stages=2 mu=1
+	// stages=1 mu=2
+	// stages=2 mu=2
+}

@@ -122,6 +122,29 @@ func AnalyticOccupancy(cfg PerfConfig) []float64 {
 	return pi
 }
 
+// StageModel builds the counting LTS of one tandem stage with explicit
+// input/output gate names, so pipelines and parameter sweeps can compose
+// stages by gate synchronization (stage i uses gates h<i> and h<i+1>).
+func StageModel(capacity int, in, out string) (*lts.LTS, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("xstream: capacity %d < 1", capacity)
+	}
+	if in == "" || out == "" || in == out {
+		return nil, fmt.Errorf("xstream: stage gates must be non-empty and distinct (%q, %q)", in, out)
+	}
+	l := lts.New(fmt.Sprintf("xstream-stage-%d-%s-%s", capacity, in, out))
+	l.AddStates(capacity + 1)
+	for i := 0; i < capacity; i++ {
+		l.AddTransition(lts.State(i), in, lts.State(i+1))
+		l.AddTransition(lts.State(i+1), out, lts.State(i))
+	}
+	l.SetInitial(0)
+	return l, nil
+}
+
+// StageGate names the handoff gate between stages i-1 and i of a tandem.
+func StageGate(i int) string { return fmt.Sprintf("h%d", i) }
+
 // PipelinePerf evaluates a tandem of n queues with handoff rate mu
 // between stages and arrival rate lambda, by composing counting IMCs and
 // solving the product CTMC. The Markovian product grows as (cap+1)^n,
@@ -131,16 +154,13 @@ func PipelinePerf(n, capacity int, lambda, mu float64) (thr float64, states int,
 		return 0, 0, fmt.Errorf("xstream: need at least one stage")
 	}
 	stage := func(in, out string) (*imc.IMC, error) {
-		l := lts.New("stage")
-		l.AddStates(capacity + 1)
-		for i := 0; i < capacity; i++ {
-			l.AddTransition(lts.State(i), in, lts.State(i+1))
-			l.AddTransition(lts.State(i+1), out, lts.State(i))
+		l, err := StageModel(capacity, in, out)
+		if err != nil {
+			return nil, err
 		}
-		l.SetInitial(0)
 		return imc.FromLTS(l), nil
 	}
-	gate := func(i int) string { return fmt.Sprintf("h%d", i) }
+	gate := StageGate
 
 	cur, err := stage(gate(0), gate(1))
 	if err != nil {

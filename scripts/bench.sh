@@ -3,13 +3,15 @@
 # Krylov vs sweep method forcing, SCC-block absorption, policy-iteration
 # bounds), the serving benchmarks (cold solve vs content-addressed cache
 # hit over HTTP), and the composition benchmarks (sequential vs
-# hash-sharded generation of the ~100k-state product) with a
+# hash-sharded generation of the ~100k-state product), and the sweep
+# benchmarks (3x3 fame grid cold vs warm vs naive per-point re-solve,
+# measuring the artifact sharing across grid points) with a
 # benchstat-friendly repeat count, keep the raw `go test` output for
 # `benchstat old.txt new.txt` comparisons, and write a compact
-# BENCH_PR6.json summary so future PRs have a perf trajectory to diff
+# BENCH_PR7.json summary so future PRs have a perf trajectory to diff
 # against. Run via `make bench-solver`; tune with COUNT/BENCH/OUT_*.
 #
-#   scripts/bench.sh --compare BENCH_PR5.json
+#   scripts/bench.sh --compare BENCH_PR6.json
 #
 # additionally prints a per-benchmark delta table (mean vs mean) against
 # a previous summary after the run.
@@ -22,9 +24,9 @@ if [ "${1:-}" = "--compare" ]; then
 fi
 
 COUNT="${COUNT:-6}"
-BENCH="${BENCH:-SteadyStateLargeChain|SteadyStateLargeChainGS|SteadyStateLargeChainBiCGSTAB|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve|ComposeSeq100k|ComposeParallel100k}"
-OUT_TXT="${OUT_TXT:-BENCH_PR6.txt}"
-OUT_JSON="${OUT_JSON:-BENCH_PR6.json}"
+BENCH="${BENCH:-SteadyStateLargeChain|SteadyStateLargeChainGS|SteadyStateLargeChainBiCGSTAB|AbsorptionMultiBSCC|TransientLargeChain|ThroughputBoundsPolicy|ServeSolve|ComposeSeq100k|ComposeParallel100k|SweepFameCold|SweepFameWarm|SweepFameNaive}"
+OUT_TXT="${OUT_TXT:-BENCH_PR7.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_PR7.json}"
 
 echo "bench: running [$BENCH] x$COUNT"
 go test -run XXX -bench "$BENCH" -benchtime 1x -count "$COUNT" . ./internal/serve | tee "$OUT_TXT"
@@ -48,6 +50,23 @@ END {
 ' "$OUT_TXT" > "$OUT_JSON"
 
 echo "bench: wrote $OUT_TXT (benchstat) and $OUT_JSON (summary)"
+
+# Headline sweep numbers: warm and cold sweep speedup over the naive
+# per-point re-solve, and the warm cache hit rate, appended to both
+# outputs so the trajectory records the sharing win.
+awk '
+/^BenchmarkSweepFameCold/  { cold += $3; nc++ }
+/^BenchmarkSweepFameWarm/  { warm += $3; nw++; if (NF >= 5) { hits += $5; nh++ } }
+/^BenchmarkSweepFameNaive/ { naive += $3; nn++ }
+END {
+    if (nc && nw && nn && warm && cold) {
+        printf "sweep: naive/warm %.1fx, naive/cold %.1fx", \
+            (naive / nn) / (warm / nw), (naive / nn) / (cold / nc)
+        if (nh) printf ", warm cache hits/point %.1f", hits / nh
+        printf "\n"
+    }
+}
+' "$OUT_TXT" | tee -a "$OUT_TXT"
 
 if [ -n "$COMPARE" ]; then
     echo "bench: delta vs $COMPARE (negative = faster now)"

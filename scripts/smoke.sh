@@ -47,6 +47,17 @@ echo "smoke: solve -json / evaluate -json (wire format)"
 "$tmp/bin/solve" -rate put=1 -rate get=2 -marker get -json "$tmp/buf.min.aut" | grep -q '"throughputs"'
 "$tmp/bin/evaluate" -deadlock -json "$tmp/buf.min.aut" | grep -q '"holds": true'
 
+echo "smoke: evaluate -fit (phase-type fit from samples)"
+printf '1.2 0.8 1.5 0.9 1.1 2.0 0.5\n' > "$tmp/samples.txt"
+"$tmp/bin/evaluate" -fit "$tmp/samples.txt" | grep -q "param:"
+"$tmp/bin/evaluate" -fit -json "$tmp/samples.txt" | grep -q '"params"'
+
+echo "smoke: sweep (local grid with cache sharing + checks)"
+"$tmp/bin/sweep" -list | grep -q "^fame"
+"$tmp/bin/sweep" -family fame -p nodes=4 -grid tbase=1,2 -grid at=0.5,1 \
+    -check deadlockfree | grep -q "4 points (4 ok, 0 failed), 1 distinct models"
+"$tmp/bin/sweep" -family xstream -grid mu=1,2 -json | grep -q '"grid_points": 2'
+
 echo "smoke: serve (start, solve, cache-hit repeat, stats)"
 go build -o "$tmp/bin/serve-client" ./examples/serve-client
 "$tmp/bin/serve" -addr 127.0.0.1:0 -queue-workers 2 >"$tmp/serve.log" 2>&1 &
@@ -65,6 +76,11 @@ done
 "$tmp/bin/serve-client" -addr "$addr" -model "$tmp/buf.min.aut" \
     -rate put=1 -rate get=2 -marker get | grep -q '"cache_hit": true'
 "$tmp/bin/serve-client" -addr "$addr" -stats | grep -q '"extractions": 1'
+
+echo "smoke: sweep against the running server (POST /v1/sweeps)"
+"$tmp/bin/sweep" -addr "$addr" -family faust -grid rate_b=1,2 -json | grep -q '"completed": 2'
+# A second identical sweep is fully cache-served: no new builds.
+"$tmp/bin/sweep" -addr "$addr" -family faust -grid rate_b=1,2 | grep -q "0 family + 0 functional + 0 perf + 0 measure"
 kill "$serve_pid"
 
 echo "smoke: OK"
