@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race smoke bench bench-engine bench-solver check
+.PHONY: build test vet race chaos smoke bench bench-engine bench-solver check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ vet:
 # serving layer (queue workers + singleflight cache).
 race:
 	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep
+
+# Fault-injection suite under the race detector: sweeps under injected
+# errors/panics/latency must stay byte-identical to fault-free runs,
+# interrupted sweeps must resume executing only the remaining points,
+# and the worker pool must survive injected job panics. Seeds are fixed
+# in the tests, so failures reproduce exactly.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestQueueFull429|TestHighWatermark|TestDrain|TestServerDrain|TestFaultAdmin|TestSweepStatus|TestSweepSSE|TestSweepRunning' ./internal/serve
+	$(GO) test -race -count=1 ./internal/fault ./internal/retry
 
 # One tiny pipeline through every CLI binary; flag regressions fail here.
 smoke:
@@ -44,4 +53,4 @@ bench-engine:
 bench-solver:
 	./scripts/bench.sh
 
-check: build vet test race smoke
+check: build vet test race chaos smoke

@@ -10,12 +10,24 @@
 // Usage:
 //
 //	serve -addr 127.0.0.1:8080 [-queue-workers N] [-queue-depth N]
-//	      [-cache-entries N] [-deadline D] [-max-deadline D]
-//	      [-workers N] [-max-states N] [-progress]
+//	      [-high-watermark N] [-cache-entries N] [-deadline D]
+//	      [-max-deadline D] [-drain-timeout D] [-workers N]
+//	      [-max-states N] [-progress]
+//	      [-chaos] [-fault SPEC] [-fault-seed N]
 //
 // The actual listen address (useful with -addr :0) is printed on stderr
-// as "serve: listening on http://ADDR". See internal/serve for the HTTP
-// API and README.md ("Serving") for a walkthrough.
+// as "serve: listening on http://ADDR". On SIGINT/SIGTERM the server
+// drains: admission stops, queued and in-flight work finishes (bounded
+// by -drain-timeout), then the listener shuts down.
+//
+// -chaos exposes the /v1/fault admin endpoint for arming fault-injection
+// schedules at runtime; -fault arms one at startup (implies -chaos), in
+// the internal/fault spec grammar, e.g.
+//
+//	serve -chaos -fault 'serve.cache.build:latency=5ms:prob=0.2' -fault-seed 42
+//
+// See internal/serve for the HTTP API and README.md ("Serving",
+// "Resilience") for walkthroughs.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"time"
 
 	"multival/cmd/internal/cli"
+	"multival/internal/fault"
 	"multival/internal/serve"
 )
 
@@ -37,27 +50,43 @@ func main() {
 	c := cli.New("serve")
 	c.MaxStatesFlag(1 << 20)
 	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		queueWorkers = flag.Int("queue-workers", 2, "concurrent request executions")
-		queueDepth   = flag.Int("queue-depth", 64, "queued-request bound; beyond it requests get 429")
-		cacheEntries = flag.Int("cache-entries", 256, "derived-artifact cache capacity (perf models + measures)")
-		modelEntries = flag.Int("model-entries", 64, "uploaded-model store capacity (separate from the artifact cache)")
-		deadline     = flag.Duration("deadline", 2*time.Minute, "default per-request deadline (0 = none)")
-		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "cap on client-chosen deadline_ms (0 = no cap)")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		queueWorkers  = flag.Int("queue-workers", 2, "concurrent request executions")
+		queueDepth    = flag.Int("queue-depth", 64, "queued-request bound; beyond it requests get 429")
+		highWatermark = flag.Int("high-watermark", 0, "shed new work above this queued depth (0 = 3/4 of depth, negative = off)")
+		cacheEntries  = flag.Int("cache-entries", 256, "derived-artifact cache capacity (perf models + measures)")
+		modelEntries  = flag.Int("model-entries", 64, "uploaded-model store capacity (separate from the artifact cache)")
+		deadline      = flag.Duration("deadline", 2*time.Minute, "default per-request deadline (0 = none)")
+		maxDeadline   = flag.Duration("max-deadline", 10*time.Minute, "cap on client-chosen deadline_ms (0 = no cap)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "bound on finishing in-flight work at shutdown")
+		chaos         = flag.Bool("chaos", false, "expose the /v1/fault chaos admin endpoint")
+		faultSpec     = flag.String("fault", "", "arm a fault-injection schedule at startup (implies -chaos)")
+		faultSeed     = flag.Int64("fault-seed", 1, "seed of the fault schedule's probabilistic draws")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		c.Usage("serve -addr HOST:PORT [-queue-workers N] [-queue-depth N] [-cache-entries N] [-deadline D] [-max-deadline D] [-workers N] [-max-states N] [-progress]")
+		c.Usage("serve -addr HOST:PORT [-queue-workers N] [-queue-depth N] [-high-watermark N] [-cache-entries N] [-deadline D] [-max-deadline D] [-drain-timeout D] [-workers N] [-max-states N] [-progress] [-chaos] [-fault SPEC] [-fault-seed N]")
+	}
+
+	if *faultSpec != "" {
+		rules, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			c.Fatal(2, err)
+		}
+		fault.Activate(fault.NewPlan(*faultSeed, rules...))
+		fmt.Fprintf(os.Stderr, "serve: fault schedule armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}
 
 	srv := serve.New(serve.Config{
-		Engine:          c.Engine(),
-		QueueWorkers:    *queueWorkers,
-		QueueDepth:      *queueDepth,
-		CacheEntries:    *cacheEntries,
-		ModelEntries:    *modelEntries,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
+		Engine:               c.Engine(),
+		QueueWorkers:         *queueWorkers,
+		QueueDepth:           *queueDepth,
+		QueueHighWatermark:   *highWatermark,
+		CacheEntries:         *cacheEntries,
+		ModelEntries:         *modelEntries,
+		DefaultDeadline:      *deadline,
+		MaxDeadline:          *maxDeadline,
+		EnableFaultInjection: *chaos || *faultSpec != "",
 	})
 	defer srv.Close()
 
@@ -78,8 +107,14 @@ func main() {
 		c.Fatal(1, err)
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "serve: %v, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Queue first: new submissions get shutting_down, queued and
+		// in-flight jobs finish within the bound. Then the listener, so
+		// responses for drained work still go out.
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: drain: %v (in-flight work abandoned to its deadlines)\n", err)
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			c.Fatal(1, err)
 		}

@@ -15,6 +15,15 @@
 // cache. -p fixes a parameter for all points, -grid sweeps one axis
 // (comma-separated values); both repeat. Exit status 0 means every point
 // completed, 1 means some points failed, 2 means the request was bad.
+//
+// Every server-side sweep gets an ID (printed in the rollup). After an
+// interruption — a killed server, an expired deadline — re-run with
+//
+//	sweep -addr URL -resume SWEEP_ID
+//
+// and the server restores the journaled points and executes only the
+// remainder. 429 (queue full / load shed) responses are retried
+// automatically, honouring the server's Retry-After hint.
 package main
 
 import (
@@ -49,6 +58,7 @@ func main() {
 		addr        = flag.String("addr", "", "post the sweep to a running serve instance instead of solving in-process")
 		jsonOut     = flag.Bool("json", false, "emit the full sweep response as JSON in the serve wire format")
 		concurrency = flag.Int("concurrency", 0, "instances in flight at once (0 = queue worker count)")
+		resume      = flag.String("resume", "", "resume an interrupted server-side sweep by its sweep ID (requires -addr)")
 		fixed       listFlag
 		grid        listFlag
 		checks      listFlag
@@ -62,14 +72,18 @@ func main() {
 		listFamilies()
 		return
 	}
-	if *family == "" || flag.NArg() != 0 {
-		c.Usage("sweep (-list | -family NAME [-p k=v]... [-grid k=v1,v2,...]... [-check QUERY]... [-addr URL] [-json] [-concurrency N] [-timeout D] [-workers N] [-max-states N])")
+	if (*family == "" && *resume == "") || flag.NArg() != 0 {
+		c.Usage("sweep (-list | -family NAME [-p k=v]... [-grid k=v1,v2,...]... [-check QUERY]... [-addr URL] [-resume ID] [-json] [-concurrency N] [-timeout D] [-workers N] [-max-states N])")
+	}
+	if *resume != "" && *addr == "" {
+		c.Fatal(2, fmt.Errorf("-resume needs -addr: the journal lives on the server that ran the sweep"))
 	}
 
 	req := &serve.SweepRequest{
 		Family:      *family,
 		Params:      map[string]any{},
 		Grid:        map[string][]any{},
+		Resume:      *resume,
 		Check:       checks,
 		Concurrency: *concurrency,
 		Workers:     c.Workers,
@@ -134,37 +148,75 @@ func localSweep(c *cli.Common, req *serve.SweepRequest) (*serve.SweepResponse, e
 	return srv.RunSweep(ctx, req, nil)
 }
 
-// postSweep posts the request to a running serve instance.
+// postSweep posts the request to a running serve instance. 429 responses
+// (queue full, load shed) are retried up to a handful of times, waiting
+// out the server's backoff hint — retry_after_ms from the error body,
+// falling back to the coarser Retry-After header — so a sweep launched
+// against a briefly saturated server queues politely instead of failing.
 func postSweep(addr string, req *serve.SweepRequest) (*serve.SweepResponse, error) {
 	var buf bytes.Buffer
 	if err := serve.EncodeJSON(&buf, req); err != nil {
 		return nil, err
 	}
+	payload := buf.Bytes()
 	base := strings.TrimSuffix(addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	hr, err := http.Post(base+"/v1/sweeps", "application/json", &buf)
-	if err != nil {
-		return nil, err
-	}
-	defer hr.Body.Close()
-	body, err := io.ReadAll(hr.Body)
-	if err != nil {
-		return nil, err
-	}
-	if hr.StatusCode != http.StatusOK {
-		var eb serve.ErrorBody
-		if err := serve.DecodeJSON(bytes.NewReader(body), &eb); err == nil && eb.Error.Message != "" {
-			return nil, fmt.Errorf("%s: %s", eb.Error.Code, eb.Error.Message)
+	const maxAttempts = 5
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		hr, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("server returned status %d: %s", hr.StatusCode, body)
+		body, err := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if hr.StatusCode == http.StatusOK {
+			var resp serve.SweepResponse
+			if err := serve.DecodeJSON(bytes.NewReader(body), &resp); err != nil {
+				return nil, err
+			}
+			return &resp, nil
+		}
+		var eb serve.ErrorBody
+		decoded := serve.DecodeJSON(bytes.NewReader(body), &eb) == nil && eb.Error.Message != ""
+		if decoded {
+			lastErr = fmt.Errorf("%s: %s", eb.Error.Code, eb.Error.Message)
+		} else {
+			lastErr = fmt.Errorf("server returned status %d: %s", hr.StatusCode, body)
+		}
+		if hr.StatusCode != http.StatusTooManyRequests || attempt == maxAttempts-1 {
+			return nil, lastErr
+		}
+		wait := retryAfter(hr, eb)
+		fmt.Fprintf(os.Stderr, "sweep: server busy (%s), retrying in %v (%d/%d)\n",
+			eb.Error.Code, wait, attempt+1, maxAttempts-1)
+		time.Sleep(wait)
 	}
-	var resp serve.SweepResponse
-	if err := serve.DecodeJSON(bytes.NewReader(body), &resp); err != nil {
-		return nil, err
+	return nil, lastErr
+}
+
+// retryAfter extracts the server's backoff hint: the millisecond body
+// field when present, else the whole-second Retry-After header, else a
+// token quarter second; clamped to keep a hostile hint from stalling the
+// client.
+func retryAfter(hr *http.Response, eb serve.ErrorBody) time.Duration {
+	wait := 250 * time.Millisecond
+	if ms := eb.Error.RetryAfterMS; ms > 0 {
+		wait = time.Duration(ms) * time.Millisecond
+	} else if s := hr.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
 	}
-	return &resp, nil
+	if wait > 10*time.Second {
+		wait = 10 * time.Second
+	}
+	return wait
 }
 
 // listFamilies prints the registry with parameter docs.
@@ -214,9 +266,19 @@ func printSweep(resp *serve.SweepResponse) {
 		fmt.Println(strings.Join(parts, "  "))
 	}
 	b := resp.Builds
-	fmt.Printf("%d points (%d ok, %d failed), %d distinct models; builds: %d family + %d functional + %d perf + %d measure + %d check; %d cache hits; %.1f ms\n",
-		resp.GridPoints, resp.Completed, resp.Failed, resp.DistinctModels,
+	extra := ""
+	if resp.Resumed > 0 {
+		extra += fmt.Sprintf(" (%d resumed)", resp.Resumed)
+	}
+	if resp.Retries > 0 {
+		extra += fmt.Sprintf(" (%d retries)", resp.Retries)
+	}
+	fmt.Printf("%d points (%d ok, %d failed)%s, %d distinct models; builds: %d family + %d functional + %d perf + %d measure + %d check; %d cache hits; %.1f ms\n",
+		resp.GridPoints, resp.Completed, resp.Failed, extra, resp.DistinctModels,
 		b.Family, b.Functional, b.Perf, b.Measure, b.Check, resp.CacheHits, resp.ElapsedMS)
+	if resp.ID != "" {
+		fmt.Printf("sweep %s (resume with: sweep -addr URL -resume %s)\n", resp.ID, resp.ID)
+	}
 }
 
 // coordString renders a grid coordinate with sorted keys.

@@ -1,0 +1,342 @@
+// Package fault is the deterministic fault-injection layer of the
+// serving stack: named fault points compiled into the load-bearing seams
+// (artifact-cache builds, queue admission and job execution, pipeline
+// execution, per-point sweep runs) that do nothing — one atomic load —
+// until a Plan is armed. An armed plan maps points to rules: inject an
+// error, a panic, or a latency spike, probabilistically (from the plan's
+// seeded random stream) or on deterministic hit-count windows. Per-point
+// counters record what actually fired, so a chaos test can assert its
+// faults happened instead of silently passing against a healthy run.
+//
+// The active plan is process-global (one knob for tests, the /v1/fault
+// admin endpoint, and cmd/serve's -fault flag alike); Activate/Deactivate
+// swap it atomically.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what a rule does when it fires.
+type Mode int
+
+const (
+	// Error makes Hit return the rule's error (ErrInjected by default).
+	Error Mode = iota
+	// Panic makes Hit panic, exercising the recovery paths around the
+	// point.
+	Panic
+	// Latency makes Hit sleep for the rule's Latency before returning
+	// nil.
+	Latency
+)
+
+// String names the mode for specs and docs.
+func (m Mode) String() string {
+	switch m {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Latency:
+		return "latency"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrInjected is the default error of Error-mode rules. It is
+// deliberately NOT classified as transient by the serve layer, so an
+// armed error rule interrupts deterministically (the tool behind
+// kill-and-resume tests); rules that should be retried away set Err to a
+// registered transient sentinel instead (e.g. "queue_full").
+var ErrInjected = errors.New("fault: injected")
+
+// Rule arms one fault point. A hit is eligible when its 1-based count at
+// the point is past After and the rule has fired fewer than Times times
+// (Times 0 = unlimited); an eligible hit then fires with probability
+// Prob (0 or >= 1 = always) drawn from the plan's seeded stream.
+type Rule struct {
+	Point string
+	Mode  Mode
+	// Prob fires probabilistically per eligible hit; 0 means always.
+	Prob float64
+	// After skips the first After hits of the point.
+	After int
+	// Times caps the number of firings (0 = unlimited).
+	Times int
+	// Latency is the injected delay of a Latency rule.
+	Latency time.Duration
+	// Err overrides ErrInjected for an Error rule; errors.Is sees
+	// through the wrapping, so sentinel-specific handling (retry on a
+	// queue-full, say) treats the injection like the real failure.
+	Err error
+}
+
+// PointStats counts, per fault point, the hits seen and the faults fired
+// by kind. Hits without an armed or firing rule pass through unharmed
+// but are still counted, so coverage of the points themselves is
+// observable.
+type PointStats struct {
+	Hits   int64 `json:"hits"`
+	Errors int64 `json:"errors"`
+	Panics int64 `json:"panics"`
+	Delays int64 `json:"delays"`
+}
+
+type ruleState struct {
+	Rule
+	hits  int
+	fired int
+}
+
+// Plan is an armed set of rules sharing one seeded random stream.
+// Create with NewPlan, install with Activate. A plan is safe for
+// concurrent use; the stream is drawn under the plan lock, so a fixed
+// seed yields a fixed value sequence (which hit consumes which value
+// still depends on goroutine interleaving — deterministic counts come
+// from After/Times windows, not Prob).
+type Plan struct {
+	seed int64
+
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	rules map[string][]*ruleState
+	stats map[string]*PointStats
+}
+
+// NewPlan builds a plan from rules, with all probabilistic draws taken
+// from a stream seeded by seed.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	p := &Plan{
+		seed:  seed,
+		rnd:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string][]*ruleState),
+		stats: make(map[string]*PointStats),
+	}
+	for _, r := range rules {
+		p.rules[r.Point] = append(p.rules[r.Point], &ruleState{Rule: r})
+	}
+	return p
+}
+
+// Seed returns the plan's random seed (for reporting).
+func (p *Plan) Seed() int64 { return p.seed }
+
+// active is the installed plan; nil means every Hit is a no-op after one
+// atomic load.
+var active atomic.Pointer[Plan]
+
+// Activate installs p as the process-wide fault plan (nil deactivates).
+func Activate(p *Plan) {
+	if p == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(p)
+}
+
+// Deactivate removes the active plan; fault points return to zero-cost.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a plan is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Active returns the armed plan, or nil.
+func Active() *Plan { return active.Load() }
+
+// Hit is the fault-point probe compiled into the instrumented seams:
+// with no plan armed it costs one atomic load and returns nil. With a
+// plan armed it counts the hit and applies the first eligible firing
+// rule — returning an error, panicking, or sleeping.
+func Hit(point string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(point)
+}
+
+func (p *Plan) hit(point string) error {
+	p.mu.Lock()
+	st := p.stats[point]
+	if st == nil {
+		st = &PointStats{}
+		p.stats[point] = st
+	}
+	st.Hits++
+	var fire *ruleState
+	for _, r := range p.rules[point] {
+		r.hits++
+		if r.hits <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && p.rnd.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		fire = r
+		break
+	}
+	if fire == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	switch fire.Mode {
+	case Latency:
+		st.Delays++
+		d := fire.Latency
+		p.mu.Unlock()
+		time.Sleep(d)
+		return nil
+	case Panic:
+		st.Panics++
+		p.mu.Unlock()
+		panic(fmt.Sprintf("fault: injected panic at %s", point))
+	default:
+		st.Errors++
+		base := fire.Err
+		p.mu.Unlock()
+		if base == nil {
+			base = ErrInjected
+		}
+		return fmt.Errorf("%w at %s", base, point)
+	}
+}
+
+// Stats snapshots the per-point counters of the plan.
+func (p *Plan) Stats() map[string]PointStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PointStats, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Fired sums the faults fired across all points and kinds.
+func (p *Plan) Fired() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, st := range p.stats {
+		n += st.Errors + st.Panics + st.Delays
+	}
+	return n
+}
+
+// Error-name registry: spec strings name injected error sentinels
+// symbolically ("err=queue_full") because the sentinels live in packages
+// that import this one. RegisterError is called from those packages'
+// init functions.
+var (
+	errRegMu  sync.Mutex
+	errReg    = map[string]error{}
+	errRegKey []string
+)
+
+// RegisterError makes err addressable as "err=name" in ParseSpec rules.
+func RegisterError(name string, err error) {
+	errRegMu.Lock()
+	defer errRegMu.Unlock()
+	if _, dup := errReg[name]; !dup {
+		errRegKey = append(errRegKey, name)
+		sort.Strings(errRegKey)
+	}
+	errReg[name] = err
+}
+
+// ParseSpec compiles a fault-spec string into rules. The grammar is
+//
+//	spec  = rule *( ";" rule )
+//	rule  = point ":" mode *( ":" opt )
+//	mode  = "error" | "panic" | "latency=<duration>"
+//	opt   = "prob=<float>" | "after=<int>" | "times=<int>" | "err=<name>"
+//
+// e.g. "serve.cache.build:panic:times=1;serve.queue.submit:error:err=queue_full:after=1:times=3".
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: rule %q: want point:mode[:opt]...", part)
+		}
+		r := Rule{Point: strings.TrimSpace(fields[0])}
+		if r.Point == "" {
+			return nil, fmt.Errorf("fault: rule %q: empty point", part)
+		}
+		mode := strings.TrimSpace(fields[1])
+		switch {
+		case mode == "error":
+			r.Mode = Error
+		case mode == "panic":
+			r.Mode = Panic
+		case strings.HasPrefix(mode, "latency="):
+			d, err := time.ParseDuration(strings.TrimPrefix(mode, "latency="))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: rule %q: bad latency %q", part, mode)
+			}
+			r.Mode, r.Latency = Latency, d
+		default:
+			return nil, fmt.Errorf("fault: rule %q: unknown mode %q", part, mode)
+		}
+		for _, opt := range fields[2:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: rule %q: bad option %q", part, opt)
+			}
+			switch k {
+			case "prob":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return nil, fmt.Errorf("fault: rule %q: prob must be in [0,1]", part)
+				}
+				r.Prob = f
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad after %q", part, v)
+				}
+				r.After = n
+			case "times":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: rule %q: bad times %q", part, v)
+				}
+				r.Times = n
+			case "err":
+				errRegMu.Lock()
+				sentinel, ok := errReg[v]
+				names := strings.Join(errRegKey, ", ")
+				errRegMu.Unlock()
+				if !ok {
+					return nil, fmt.Errorf("fault: rule %q: unknown error name %q (have %s)", part, v, names)
+				}
+				r.Err = sentinel
+			default:
+				return nil, fmt.Errorf("fault: rule %q: unknown option %q", part, k)
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("fault: empty spec")
+	}
+	return rules, nil
+}

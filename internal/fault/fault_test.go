@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// arm installs a plan for the test and guarantees deactivation.
+func arm(t *testing.T, p *Plan) {
+	t.Helper()
+	Activate(p)
+	t.Cleanup(Deactivate)
+}
+
+// TestHitDisabled: without a plan every point is a nil-returning no-op.
+func TestHitDisabled(t *testing.T) {
+	Deactivate()
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("Hit with no plan = %v", err)
+	}
+	if Enabled() {
+		t.Error("Enabled() with no plan")
+	}
+}
+
+// TestErrorWindow: After skips the leading hits, Times caps the firings,
+// and the injected error wraps ErrInjected.
+func TestErrorWindow(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "p", Mode: Error, After: 1, Times: 2})
+	arm(t, p)
+
+	outcomes := make([]error, 5)
+	for i := range outcomes {
+		outcomes[i] = Hit("p")
+	}
+	for i, want := range []bool{false, true, true, false, false} {
+		if got := outcomes[i] != nil; got != want {
+			t.Errorf("hit %d fired = %v, want %v (err %v)", i+1, got, want, outcomes[i])
+		}
+	}
+	if !errors.Is(outcomes[1], ErrInjected) {
+		t.Errorf("injected error %v does not wrap ErrInjected", outcomes[1])
+	}
+	st := p.Stats()["p"]
+	if st.Hits != 5 || st.Errors != 2 || st.Panics != 0 {
+		t.Errorf("stats = %+v, want 5 hits, 2 errors", st)
+	}
+	if p.Fired() != 2 {
+		t.Errorf("Fired = %d, want 2", p.Fired())
+	}
+}
+
+// TestPanicRule: a panic rule panics with the point's name in the
+// message and counts the firing.
+func TestPanicRule(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "boom", Mode: Panic, Times: 1})
+	arm(t, p)
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = Hit("boom")
+	}()
+	msg, ok := recovered.(string)
+	if !ok || !strings.Contains(msg, "boom") {
+		t.Fatalf("recovered %v, want panic message naming the point", recovered)
+	}
+	if err := Hit("boom"); err != nil {
+		t.Errorf("hit after Times exhausted = %v", err)
+	}
+	if st := p.Stats()["boom"]; st.Panics != 1 {
+		t.Errorf("stats = %+v, want 1 panic", st)
+	}
+}
+
+// TestLatencyRule: a latency rule sleeps at least the configured delay
+// and returns nil.
+func TestLatencyRule(t *testing.T) {
+	p := NewPlan(1, Rule{Point: "slow", Mode: Latency, Latency: 10 * time.Millisecond, Times: 1})
+	arm(t, p)
+
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("latency hit = %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("latency hit returned after %v, want >= 10ms", d)
+	}
+	if st := p.Stats()["slow"]; st.Delays != 1 {
+		t.Errorf("stats = %+v, want 1 delay", st)
+	}
+}
+
+// TestProbSeedDeterminism: two plans with the same seed fire on the same
+// hit sequence; the fault layer's randomness is reproducible.
+func TestProbSeedDeterminism(t *testing.T) {
+	fire := func(seed int64) []bool {
+		p := NewPlan(seed, Rule{Point: "p", Mode: Error, Prob: 0.4})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.hit("p") != nil
+		}
+		return out
+	}
+	a, b := fire(42), fire(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob 0.4 fired %d/%d times; the draw is not probabilistic", fired, len(a))
+	}
+}
+
+// TestRegisteredError: err= options resolve registered sentinels, so
+// injections are classified like the real failure.
+func TestRegisteredError(t *testing.T) {
+	sentinel := errors.New("test sentinel")
+	RegisterError("test_sentinel", sentinel)
+
+	rules, err := ParseSpec("p:error:err=test_sentinel:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm(t, NewPlan(1, rules...))
+	if err := Hit("p"); !errors.Is(err, sentinel) {
+		t.Errorf("injected %v does not wrap the registered sentinel", err)
+	}
+}
+
+// TestParseSpec: the full grammar round-trips into rules.
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("a.b:panic:after=2:times=1; c.d:latency=5ms:prob=0.25 ;e:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if r := rules[0]; r.Point != "a.b" || r.Mode != Panic || r.After != 2 || r.Times != 1 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.Point != "c.d" || r.Mode != Latency || r.Latency != 5*time.Millisecond || r.Prob != 0.25 {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	if r := rules[2]; r.Point != "e" || r.Mode != Error || r.Err != nil {
+		t.Errorf("rule 2 = %+v", r)
+	}
+}
+
+// TestParseSpecRejects: malformed specs fail with diagnostics instead of
+// arming half a schedule.
+func TestParseSpecRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"pointonly",
+		"p:explode",
+		"p:latency=-3ms",
+		"p:latency=nonsense",
+		"p:error:prob=1.5",
+		"p:error:after=-1",
+		"p:error:times=x",
+		"p:error:err=never_registered_name",
+		"p:error:oddity=1",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package retry is the shared backoff policy of the serving stack: one
+// definition of exponential backoff with jitter, used wherever a
+// transient failure is worth waiting out — queue-full resubmissions,
+// sweep-point retries, remote clients honouring Retry-After. Keeping the
+// policy in one place means every retry loop is context-bounded and
+// jittered the same way, instead of each call site growing its own
+// busy-poll.
+package retry
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Policy shapes a retry loop: the attempt-n delay is
+// Base·Factor^n capped at Cap, scaled by a random factor in
+// [1-Jitter/2, 1+Jitter/2]. The zero value retries immediately and
+// forever (bounded only by the context); use Default for sane settings.
+type Policy struct {
+	// Base is the delay before the first retry; Factor multiplies it per
+	// further attempt; Cap bounds the grown delay (0 = uncapped).
+	Base   time.Duration
+	Factor float64
+	Cap    time.Duration
+	// Jitter in [0, 1] spreads each delay uniformly over
+	// [1-Jitter/2, 1+Jitter/2] times its deterministic value, so
+	// synchronized clients desynchronize instead of retrying in lockstep.
+	Jitter float64
+	// MaxAttempts caps the number of calls to the retried function
+	// (0 = unlimited; the context still bounds the loop).
+	MaxAttempts int
+	// OnRetry, when set, observes every backed-off retry before its
+	// delay: the attempt just failed (1-based), its error, and the delay
+	// about to be slept. Used to thread retry counts into stats.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// Default is the service-side policy: millisecond-scale first retry,
+// doubling to a 100ms cap, half-width jitter, bounded by the caller's
+// context rather than an attempt count.
+var Default = Policy{
+	Base:   time.Millisecond,
+	Factor: 2,
+	Cap:    100 * time.Millisecond,
+	Jitter: 0.5,
+}
+
+// Delay returns the jittered delay before retry attempt (0-based: the
+// delay slept after the attempt+1'th failure).
+func (p Policy) Delay(attempt int) time.Duration {
+	d := float64(p.Base)
+	if p.Factor > 1 && attempt > 0 {
+		d *= math.Pow(p.Factor, float64(attempt))
+	}
+	if p.Cap > 0 && d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter/2 + p.Jitter*rand.Float64()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for d or until ctx is done, returning the context error in
+// the latter case.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		// Still honour an already-expired context.
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn until it succeeds, fails permanently, exhausts MaxAttempts,
+// or ctx is done. transient classifies errors: a nil classifier treats
+// every error as transient. The last error is returned when the loop
+// gives up; an expired context returns the context error unless the last
+// attempt already failed permanently.
+func Do(ctx context.Context, p Policy, transient func(error) bool, fn func(context.Context) error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if transient != nil && !transient(err) {
+			return err
+		}
+		if p.MaxAttempts > 0 && attempt+1 >= p.MaxAttempts {
+			return err
+		}
+		delay := p.Delay(attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt+1, err, delay)
+		}
+		if serr := Sleep(ctx, delay); serr != nil {
+			// The deadline decided, but the caller diagnoses better with
+			// the underlying failure attached.
+			return serr
+		}
+	}
+}

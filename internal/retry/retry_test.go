@@ -1,0 +1,135 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayGrowth: without jitter the delays are Base·Factor^n, capped.
+func TestDelayGrowth(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Factor: 2, Cap: 8 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+		8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBounds: jittered delays stay within the advertised band
+// around the deterministic value.
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Factor: 1, Jitter: 0.5}
+	lo := time.Duration(float64(p.Base) * 0.75)
+	hi := time.Duration(float64(p.Base) * 1.25)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+// TestDoTransientThenSuccess: transient failures are retried until fn
+// succeeds, with OnRetry observing each backed-off attempt.
+func TestDoTransientThenSuccess(t *testing.T) {
+	transientErr := errors.New("transient")
+	calls, retries := 0, 0
+	p := Policy{OnRetry: func(attempt int, err error, _ time.Duration) {
+		retries++
+		if !errors.Is(err, transientErr) {
+			t.Errorf("OnRetry err = %v", err)
+		}
+		if attempt != retries {
+			t.Errorf("OnRetry attempt = %d, want %d", attempt, retries)
+		}
+	}}
+	err := Do(context.Background(), p, func(error) bool { return true }, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return transientErr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Errorf("calls = %d, retries = %d; want 3, 2", calls, retries)
+	}
+}
+
+// TestDoPermanentStops: a permanent classification returns the error
+// after one attempt.
+func TestDoPermanentStops(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), Policy{}, func(error) bool { return false }, func(context.Context) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Errorf("err = %v after %d calls; want permanent after 1", err, calls)
+	}
+}
+
+// TestDoMaxAttempts: the attempt cap bounds the loop and the last error
+// comes back.
+func TestDoMaxAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 4}, nil, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Errorf("err = %v after %d calls; want boom after 4", err, calls)
+	}
+}
+
+// TestDoContextBounds: an expiring context ends an unbounded retry loop
+// with the context error.
+func TestDoContextBounds(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := Do(ctx, Policy{Base: time.Millisecond}, nil, func(context.Context) error {
+		return errors.New("always")
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestDoExpiredContextNoCall: an already-done context prevents even the
+// first attempt.
+func TestDoExpiredContextNoCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{}, nil, func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Errorf("err = %v after %d calls; want canceled after 0", err, calls)
+	}
+}
+
+// TestSleepCancel: Sleep returns early with the context error.
+func TestSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	start := time.Now()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep = %v, want canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Sleep ignored cancellation")
+	}
+}

@@ -5,7 +5,17 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"multival/internal/fault"
 )
+
+// PointCacheBuild is the fault point inside every artifact build (all
+// layers: family models, functional models, perf models, measures,
+// checks, model uploads). An error rule fails the build (never cached —
+// the next request retries), a panic rule exercises the
+// mark-failed/unpublish/re-panic hardening, a latency rule stretches the
+// singleflight window so joiners pile onto one in-flight build.
+const PointCacheBuild = "serve.cache.build"
 
 // Cache is a content-addressed artifact cache: a bounded LRU keyed by
 // canonical digests (model hashes, request-spec hashes) holding the
@@ -190,7 +200,11 @@ func (c *Cache) build(key string, e *cacheEntry, fn func() (any, error)) {
 			panic(r)
 		}
 	}()
-	e.val, e.err = fn()
+	if ierr := fault.Hit(PointCacheBuild); ierr != nil {
+		e.val, e.err = nil, ierr
+	} else {
+		e.val, e.err = fn()
+	}
 	completed = true
 	close(e.ready)
 }

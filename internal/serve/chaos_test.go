@@ -1,0 +1,224 @@
+// Chaos tests: run the serving stack under an armed fault schedule and
+// assert resilience as equality — a sweep under injected transient faults
+// must produce byte-identical results to a fault-free run, with the
+// injection counters proving the faults actually fired; an interrupted
+// sweep must resume by ID executing only the remaining points.
+
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"multival/internal/fault"
+)
+
+// armPlan installs a fault plan for the test and guarantees deactivation
+// (the plan is process-global; serve tests run sequentially).
+func armPlan(t *testing.T, p *fault.Plan) {
+	t.Helper()
+	fault.Activate(p)
+	t.Cleanup(fault.Deactivate)
+}
+
+// TestChaosSweepDifferential is the chaos acceptance test: the 3×3 fame
+// sweep under a schedule of transient faults — injected queue-full
+// rejections, one injected panic inside an artifact build, probabilistic
+// latency — completes with results byte-identical to a fault-free run,
+// and the counters prove the faults fired instead of the test passing
+// against a healthy server.
+func TestChaosSweepDifferential(t *testing.T) {
+	fault.Deactivate()
+	baselineSrv := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	baseline, err := baselineSrv.RunSweep(context.Background(), fameSweep3x3(), nil)
+	baselineSrv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Completed != 9 {
+		t.Fatalf("baseline completed %d/9: %+v", baseline.Completed, baseline.ErrorCounts)
+	}
+
+	// The schedule: deterministic hit-count windows for the asserted
+	// counters (exactly 3 admission rejections, exactly 1 build panic),
+	// probabilistic latency only as interleaving noise. The injected
+	// queue-full wraps the real sentinel, so the shared retry policy
+	// waits it out; the panic exercises the cache's
+	// mark-failed/unpublish/re-panic hardening and the queue worker's
+	// recovery, then the point retries as an internal transient.
+	plan := fault.NewPlan(7,
+		fault.Rule{Point: PointQueueSubmit, Mode: fault.Error, Err: ErrQueueFull, After: 1, Times: 3},
+		fault.Rule{Point: PointCacheBuild, Mode: fault.Panic, After: 2, Times: 1},
+		fault.Rule{Point: PointCacheBuild, Mode: fault.Latency, Latency: 2 * time.Millisecond, Prob: 0.3},
+		fault.Rule{Point: PointSweepPoint, Mode: fault.Latency, Latency: time.Millisecond, Prob: 0.5},
+	)
+	armPlan(t, plan)
+
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+	resp, err := s.RunSweep(context.Background(), fameSweep3x3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Completed != 9 || resp.Failed != 0 {
+		t.Fatalf("chaos sweep completed %d, failed %d: %+v", resp.Completed, resp.Failed, resp.ErrorCounts)
+	}
+
+	// Differential: every point byte-identical to the fault-free run.
+	for i := range resp.Results {
+		got := canonicalResult(t, resp.Results[i].Result)
+		want := canonicalResult(t, baseline.Results[i].Result)
+		if got != want {
+			t.Errorf("point %d diverges under chaos:\n chaos:    %s\n baseline: %s", i, got, want)
+		}
+	}
+
+	// The faults fired — and were absorbed where they should be.
+	st := plan.Stats()
+	if got := st[PointQueueSubmit].Errors; got != 3 {
+		t.Errorf("injected submit errors = %d, want 3", got)
+	}
+	if got := st[PointCacheBuild].Panics; got != 1 {
+		t.Errorf("injected build panics = %d, want 1", got)
+	}
+	qs := s.queue.Stats()
+	if qs.Retries < 3 {
+		t.Errorf("queue retries = %d, want >= 3 (one per injected rejection)", qs.Retries)
+	}
+	if qs.Panics < 1 {
+		t.Errorf("queue panics = %d, want >= 1 (the injected build panic)", qs.Panics)
+	}
+	if resp.Retries < 1 {
+		t.Errorf("sweep retries = %d, want >= 1 (the panicked point re-ran)", resp.Retries)
+	}
+
+	// No wedged cache keys: with the schedule disarmed, the same sweep on
+	// the same server is answered entirely from cache — every key the
+	// chaos run touched (including the panicked build's) is live.
+	fault.Deactivate()
+	warm, err := s.RunSweep(context.Background(), fameSweep3x3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Completed != 9 {
+		t.Fatalf("warm rerun completed %d/9: %+v", warm.Completed, warm.ErrorCounts)
+	}
+	if warm.Builds.Total() != 0 {
+		t.Errorf("warm rerun performed builds %+v; a cache key was lost to the chaos run", warm.Builds)
+	}
+}
+
+// TestChaosKillAndResume is the resumability acceptance test: a sweep
+// interrupted after 4 points by an armed fault resumes by ID, restores
+// exactly those 4 from the journal, and builds only the remaining 5
+// measures — the build counters prove no completed point re-executed.
+func TestChaosKillAndResume(t *testing.T) {
+	s := New(Config{QueueWorkers: 2, QueueDepth: 16})
+	defer s.Close()
+
+	// ErrInjected is deliberately permanent: after 4 points every further
+	// execution attempt fails immediately, interrupting the sweep the way
+	// a dying server would — deterministically.
+	armPlan(t, fault.NewPlan(1, fault.Rule{Point: PointSweepPoint, Mode: fault.Error, After: 4}))
+
+	first, err := s.RunSweep(context.Background(), fameSweep3x3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID == "" {
+		t.Fatal("sweep response has no ID")
+	}
+	if first.Completed != 4 || first.Failed != 5 {
+		t.Fatalf("interrupted sweep completed %d, failed %d; want 4, 5 (%+v)",
+			first.Completed, first.Failed, first.ErrorCounts)
+	}
+	if first.ErrorCounts["fault_injected"] != 5 {
+		t.Errorf("error counts = %v, want fault_injected: 5", first.ErrorCounts)
+	}
+	if first.Builds.Measure != 4 {
+		t.Errorf("interrupted run built %d measures, want 4", first.Builds.Measure)
+	}
+
+	// Bare resume: only the ID; the server replays the stored request
+	// against the journal.
+	fault.Deactivate()
+	resumed, err := s.RunSweep(context.Background(), &SweepRequest{Resume: first.ID}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ID != first.ID {
+		t.Errorf("resume got ID %s, want %s", resumed.ID, first.ID)
+	}
+	if resumed.Completed != 9 || resumed.Failed != 0 {
+		t.Fatalf("resumed sweep completed %d, failed %d: %+v",
+			resumed.Completed, resumed.Failed, resumed.ErrorCounts)
+	}
+	if resumed.Resumed != 4 {
+		t.Errorf("resumed points = %d, want 4 restored from the journal", resumed.Resumed)
+	}
+	// The proof of n−k execution: the 3×3 grid has 9 distinct measure
+	// specs; the first pass built 4, so the resume must build exactly the
+	// 5 remaining — journaled points cost zero builds.
+	if resumed.Builds.Measure != 5 {
+		t.Errorf("resume built %d measures, want exactly the 5 missing", resumed.Builds.Measure)
+	}
+	for _, sp := range resumed.Results {
+		if sp.Result == nil {
+			t.Errorf("point %d missing result after resume", sp.Index)
+		}
+	}
+
+	// Unknown IDs fail closed.
+	if _, err := s.RunSweep(context.Background(), &SweepRequest{Resume: "sw-nonesuch"}, nil); err == nil {
+		t.Error("resume of unknown sweep succeeded")
+	} else if code, _ := ErrorCode(err); code != "unknown_sweep" {
+		t.Errorf("unknown resume classified as %s", code)
+	}
+}
+
+// TestChaosWorkerPoolSurvives: a schedule of job panics (firing before
+// the job body, so nothing answers for them) must not shrink the worker
+// pool — after the schedule is disarmed the queue still executes at full
+// width.
+func TestChaosWorkerPoolSurvives(t *testing.T) {
+	q := NewQueue(2, 16)
+	defer q.Close()
+
+	armPlan(t, fault.NewPlan(1, fault.Rule{Point: PointQueueRun, Mode: fault.Panic, Times: 4}))
+
+	var ran atomic.Int64
+	job := func(context.Context) { ran.Add(1) }
+	for i := 0; i < 8; i++ {
+		if err := q.Submit(context.Background(), job); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return ran.Load() == 4 && q.Stats().Panics == 4 })
+
+	// Disarmed, the pool still drains everything: both workers survived
+	// their injected deaths.
+	fault.Deactivate()
+	for i := 0; i < 8; i++ {
+		if err := q.Submit(context.Background(), job); err != nil {
+			t.Fatalf("post-chaos submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return ran.Load() == 12 })
+	if st := q.Stats(); st.Panics != 4 {
+		t.Errorf("panics = %d, want 4", st.Panics)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,32 +4,57 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
+
+	"multival/internal/fault"
 )
 
-// ErrQueueFull reports that the bounded request queue is at capacity;
-// the server maps it to HTTP 429 so clients back off instead of piling
-// unbounded work onto the engine.
+// ErrQueueFull reports that the bounded request queue is at hard
+// capacity; the server maps it to HTTP 429 (with a Retry-After hint) so
+// clients back off instead of piling unbounded work onto the engine.
 var ErrQueueFull = errors.New("serve: request queue full")
 
-// ErrQueueClosed reports a Submit after Close.
+// ErrQueueBusy reports admission-control shedding: the queue crossed its
+// high watermark and new external work is rejected early (429 +
+// Retry-After) while the remaining capacity stays reserved for
+// already-admitted work (sweep-point resubmissions), so in-flight sweeps
+// drain instead of deadlocking behind fresh arrivals.
+var ErrQueueBusy = errors.New("serve: request queue above high watermark")
+
+// ErrQueueClosed reports a Submit after Close (or during a drain).
 var ErrQueueClosed = errors.New("serve: request queue closed")
 
+// Fault points of the queue seam (see internal/fault). PointQueueRun
+// fires inside the worker's recovery scope, before the job body: a
+// latency rule models a slow executor, a panic rule a job that dies
+// before answering its waiter (clients must run with deadlines — the
+// server defaults them).
+const (
+	PointQueueSubmit = "serve.queue.submit"
+	PointQueueRun    = "serve.queue.run"
+)
+
 // Queue is a bounded worker pool: Submit enqueues a job without blocking
-// (rejecting with ErrQueueFull at capacity) and a fixed set of workers
-// drains it. Each job carries the request context; a job whose context is
-// already done when a worker picks it up is skipped without executing —
-// a client that disconnected or timed out while queued costs nothing.
+// (rejecting with ErrQueueFull at capacity, or ErrQueueBusy above the
+// high watermark) and a fixed set of workers drains it. Each job carries
+// the request context; a job whose context is already done when a worker
+// picks it up is skipped without executing — a client that disconnected
+// or timed out while queued costs nothing.
 type Queue struct {
 	jobs chan queueJob
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	workers  int
-	executed int64
-	rejected int64
-	skipped  int64
-	panics   int64
+	mu        sync.Mutex
+	closed    bool
+	workers   int
+	watermark int // sheddable submissions rejected at this depth (0 = disabled)
+	executed  int64
+	rejected  int64
+	shed      int64
+	retries   int64
+	skipped   int64
+	panics    int64
+	ewmaMS    float64 // exponentially weighted average job duration
 }
 
 type queueJob struct {
@@ -38,7 +63,8 @@ type queueJob struct {
 }
 
 // NewQueue starts workers goroutines draining a queue of the given
-// capacity (both floored to 1).
+// capacity (both floored to 1). Watermark shedding is off until
+// SetHighWatermark.
 func NewQueue(workers, capacity int) *Queue {
 	if workers < 1 {
 		workers = 1
@@ -52,6 +78,21 @@ func NewQueue(workers, capacity int) *Queue {
 		go q.worker()
 	}
 	return q
+}
+
+// SetHighWatermark arms admission-control shedding: once the queued
+// depth reaches n, Submit rejects with ErrQueueBusy while SubmitReserved
+// may still use the remaining capacity. n <= 0 disables shedding.
+func (q *Queue) SetHighWatermark(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > cap(q.jobs) {
+		n = cap(q.jobs)
+	}
+	q.watermark = n
 }
 
 func (q *Queue) worker() {
@@ -76,6 +117,7 @@ func (q *Queue) worker() {
 // before re-panicking (see Server.handleSolve); the queue cannot answer
 // for them.
 func (q *Queue) runJob(job queueJob) {
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			q.mu.Lock()
@@ -83,17 +125,67 @@ func (q *Queue) runJob(job queueJob) {
 			q.mu.Unlock()
 		}
 	}()
+	_ = fault.Hit(PointQueueRun) // latency/panic seam; error rules are inert here
 	job.run(job.ctx)
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
 	q.mu.Lock()
 	q.executed++
+	// The average feeds Retry-After hints; weight recent jobs so the
+	// hint tracks the current workload, not the process lifetime.
+	if q.ewmaMS == 0 {
+		q.ewmaMS = ms
+	} else {
+		q.ewmaMS = 0.8*q.ewmaMS + 0.2*ms
+	}
 	q.mu.Unlock()
 }
 
-// Submit enqueues run to be called with ctx by a worker. It never blocks:
-// a full queue rejects with ErrQueueFull. run is not called when ctx is
-// done before a worker reaches the job; callers waiting on run's result
-// must therefore also select on ctx.
+// retryAfterLocked estimates how long a rejected client should wait
+// before resubmitting: the queued depth divided by the worker count,
+// scaled by the observed average job duration. Called with mu held.
+func (q *Queue) retryAfterLocked() time.Duration {
+	avg := q.ewmaMS
+	if avg <= 0 {
+		avg = 10 // no history yet: suggest a token backoff
+	}
+	d := time.Duration(avg * float64(len(q.jobs)+1) / float64(q.workers) * float64(time.Millisecond))
+	if d < 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// Submit enqueues run to be called with ctx by a worker, as externally
+// admitted work: above the high watermark it is shed with ErrQueueBusy
+// so the reserved headroom keeps already-admitted work moving. It never
+// blocks. run is not called when ctx is done before a worker reaches the
+// job; callers waiting on run's result must therefore also select on
+// ctx. Rejections carry a Retry-After hint (RetryAfterError).
 func (q *Queue) Submit(ctx context.Context, run func(context.Context)) error {
+	return q.submit(ctx, run, false)
+}
+
+// SubmitReserved enqueues already-admitted work (sweep-point
+// resubmissions): it bypasses the high watermark and is bounded only by
+// hard capacity.
+func (q *Queue) SubmitReserved(ctx context.Context, run func(context.Context)) error {
+	return q.submit(ctx, run, true)
+}
+
+func (q *Queue) submit(ctx context.Context, run func(context.Context), reserved bool) error {
+	if err := fault.Hit(PointQueueSubmit); err != nil {
+		// Injected admission failures get the same Retry-After dressing
+		// as real ones, so client backoff paths are exercised end to end.
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			q.rejected++
+		}
+		return &RetryAfterError{Err: err, After: q.retryAfterLocked()}
+	}
 	// The send happens under mu so Close cannot close the channel
 	// between the closed check and the send (the send is non-blocking,
 	// so holding the lock is cheap).
@@ -102,42 +194,93 @@ func (q *Queue) Submit(ctx context.Context, run func(context.Context)) error {
 	if q.closed {
 		return ErrQueueClosed
 	}
+	if !reserved && q.watermark > 0 && len(q.jobs) >= q.watermark {
+		q.shed++
+		return &RetryAfterError{Err: ErrQueueBusy, After: q.retryAfterLocked()}
+	}
 	select {
 	case q.jobs <- queueJob{ctx: ctx, run: run}:
 		return nil
 	default:
 		q.rejected++
-		return ErrQueueFull
+		return &RetryAfterError{Err: ErrQueueFull, After: q.retryAfterLocked()}
 	}
 }
 
-// Close stops accepting jobs and waits for the workers to drain the
-// queue (pending jobs with live contexts still execute).
-func (q *Queue) Close() {
+// Admit reports whether new external work would currently be admitted:
+// above the high watermark (or after a drain started) it returns the same
+// rejection Submit would, without enqueueing anything. The sweep handler
+// sheds whole sweeps on it before doing any planning work.
+func (q *Queue) Admit() error {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
-		q.mu.Unlock()
-		return
+		return ErrQueueClosed
 	}
-	q.closed = true
-	close(q.jobs) // under mu: Submit sends under the same lock
-	q.mu.Unlock()
-	q.wg.Wait()
+	if q.watermark > 0 && len(q.jobs) >= q.watermark {
+		q.shed++
+		return &RetryAfterError{Err: ErrQueueBusy, After: q.retryAfterLocked()}
+	}
+	return nil
 }
+
+// NoteRetry counts one backed-off resubmission in the stats (called by
+// the shared retry policy around Submit).
+func (q *Queue) NoteRetry() {
+	q.mu.Lock()
+	q.retries++
+	q.mu.Unlock()
+}
+
+// Drain stops admission (Submit returns ErrQueueClosed) and waits for
+// queued and in-flight jobs to finish, bounded by ctx: on expiry the
+// remaining jobs keep running on their workers — their own contexts
+// bound them — but Drain returns the context error so the caller can
+// exit anyway. Draining twice is safe.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs) // under mu: Submit sends under the same lock
+	}
+	q.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting jobs and waits (unboundedly) for the workers to
+// drain the queue; pending jobs with live contexts still execute.
+func (q *Queue) Close() { _ = q.Drain(context.Background()) }
 
 // QueueStats is a snapshot of the queue counters. Skipped counts jobs
 // whose context was done before a worker reached them (never executed);
 // Panics counts jobs whose execution panicked (recovered by the worker,
 // not counted as Executed) — a nonzero value is the operational signal
 // that some request hit a server bug without taking the process down.
+// Shed counts admissions rejected at the high watermark, Retries the
+// backed-off resubmissions performed by the shared retry policy, and
+// AvgJobMS the weighted average job duration feeding Retry-After hints.
 type QueueStats struct {
-	Workers  int   `json:"workers"`
-	Capacity int   `json:"capacity"`
-	Queued   int   `json:"queued"`
-	Executed int64 `json:"executed"`
-	Rejected int64 `json:"rejected"`
-	Skipped  int64 `json:"skipped"`
-	Panics   int64 `json:"panics"`
+	Workers       int     `json:"workers"`
+	Capacity      int     `json:"capacity"`
+	HighWatermark int     `json:"high_watermark,omitempty"`
+	Queued        int     `json:"queued"`
+	Executed      int64   `json:"executed"`
+	Rejected      int64   `json:"rejected"`
+	Shed          int64   `json:"shed"`
+	Retries       int64   `json:"retries"`
+	Skipped       int64   `json:"skipped"`
+	Panics        int64   `json:"panics"`
+	AvgJobMS      float64 `json:"avg_job_ms"`
 }
 
 // Stats returns a snapshot of the counters.
@@ -145,12 +288,16 @@ func (q *Queue) Stats() QueueStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return QueueStats{
-		Workers:  q.workers,
-		Capacity: cap(q.jobs),
-		Queued:   len(q.jobs),
-		Executed: q.executed,
-		Rejected: q.rejected,
-		Skipped:  q.skipped,
-		Panics:   q.panics,
+		Workers:       q.workers,
+		Capacity:      cap(q.jobs),
+		HighWatermark: q.watermark,
+		Queued:        len(q.jobs),
+		Executed:      q.executed,
+		Rejected:      q.rejected,
+		Shed:          q.shed,
+		Retries:       q.retries,
+		Skipped:       q.skipped,
+		Panics:        q.panics,
+		AvgJobMS:      q.ewmaMS,
 	}
 }

@@ -1,0 +1,438 @@
+// Resilience tests of the HTTP seam: Retry-After hints on admission
+// rejections, high-watermark shedding, bounded drains, the /v1/fault
+// chaos admin endpoint, sweep status and resume over the wire, and
+// client-disconnect behaviour of streaming sweeps.
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"multival/internal/fault"
+)
+
+// TestQueueFull429RetryAfter: a hard-full queue rejects with 429, the
+// Retry-After header, and the millisecond hint in the body.
+func TestQueueFull429RetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 1})
+
+	// Wedge the worker, then fill the one queue slot, so the next solve
+	// is rejected at admission.
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	if err := s.queue.Submit(context.Background(), func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatalf("wedging submit: %v", err)
+	}
+	<-started
+	if err := s.queue.Submit(context.Background(), func(context.Context) { <-block }); err != nil {
+		t.Fatalf("filling submit: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, SolveRequest{Model: bufAut, Rates: map[string]float64{"put": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want whole seconds >= 1", ra)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != "queue_full" {
+		t.Errorf("code = %s, want queue_full", eb.Error.Code)
+	}
+	if eb.Error.RetryAfterMS < 1 {
+		t.Errorf("retry_after_ms = %d, want >= 1", eb.Error.RetryAfterMS)
+	}
+}
+
+// TestHighWatermarkSheds: above the watermark external submissions get
+// queue_busy while reserved (already-admitted) work still uses the
+// remaining capacity.
+func TestHighWatermarkSheds(t *testing.T) {
+	q := NewQueue(1, 4)
+	defer q.Close()
+	q.SetHighWatermark(2)
+
+	block := make(chan struct{})
+	defer close(block)
+	// Wedge the worker, then fill the queue to the watermark.
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) { close(started); <-block }); err != nil {
+		t.Fatalf("wedging submit: %v", err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if err := q.Submit(context.Background(), func(context.Context) { <-block }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	err := q.Submit(context.Background(), func(context.Context) {})
+	if !errors.Is(err, ErrQueueBusy) {
+		t.Fatalf("submit above watermark = %v, want ErrQueueBusy", err)
+	}
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) || ra.After <= 0 {
+		t.Errorf("shed rejection carries no Retry-After hint: %v", err)
+	}
+	if err := q.Admit(); !errors.Is(err, ErrQueueBusy) {
+		t.Errorf("Admit above watermark = %v, want ErrQueueBusy", err)
+	}
+
+	// Reserved work uses the headroom between watermark and capacity
+	// (two slots here), bounded by hard capacity.
+	for i := 0; i < 2; i++ {
+		if err := q.SubmitReserved(context.Background(), func(context.Context) { <-block }); err != nil {
+			t.Fatalf("reserved submit %d above watermark: %v", i, err)
+		}
+	}
+	if err := q.SubmitReserved(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reserved submit at capacity = %v, want ErrQueueFull", err)
+	}
+	st := q.Stats()
+	if st.Shed < 2 {
+		t.Errorf("shed = %d, want >= 2 (the rejected Submit and the Admit)", st.Shed)
+	}
+	if st.HighWatermark != 2 {
+		t.Errorf("stats watermark = %d", st.HighWatermark)
+	}
+}
+
+// TestDrainBounded: Drain finishes queued work; with a wedged job it
+// honours the caller's deadline instead of hanging, and after the drain
+// new submissions are rejected as shutting down.
+func TestDrainBounded(t *testing.T) {
+	q := NewQueue(1, 4)
+	block := make(chan struct{})
+	q.Submit(context.Background(), func(context.Context) { <-block })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain of wedged queue = %v, want deadline exceeded", err)
+	}
+	if err := q.Submit(context.Background(), func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("submit after drain = %v, want ErrQueueClosed", err)
+	}
+	code, status := ErrorCode(ErrQueueClosed)
+	if code != "shutting_down" || status != http.StatusServiceUnavailable {
+		t.Errorf("shutdown classification = %s/%d", code, status)
+	}
+
+	close(block)
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestServerDrainHTTP: after Server.Drain, requests get a structured 503.
+func TestServerDrainHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Model: bufAut, Rates: map[string]float64{"put": 1}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "shutting_down" {
+		t.Errorf("code = %s", e.Code)
+	}
+}
+
+// TestFaultAdminEndpoint: POST arms a schedule, the armed fault fires on
+// a live request as a structured 500, GET reports the counters (also in
+// /v1/stats), DELETE disarms.
+func TestFaultAdminEndpoint(t *testing.T) {
+	t.Cleanup(fault.Deactivate)
+	_, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4, EnableFaultInjection: true})
+
+	status, body := postJSON(t, ts.URL+"/v1/fault", FaultRequest{
+		Spec: PointExecute + ":error:times=1", Seed: 7,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("arming: status %d: %s", status, body)
+	}
+
+	solve := SolveRequest{Model: bufAut, Rates: map[string]float64{"put": 1}}
+	status, body = postJSON(t, ts.URL+"/v1/solve", solve)
+	if status != http.StatusInternalServerError {
+		t.Fatalf("faulted solve: status %d: %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "fault_injected" {
+		t.Errorf("code = %s, want fault_injected", e.Code)
+	}
+	// Times=1 exhausted: the next request is healthy.
+	if status, body = postJSON(t, ts.URL+"/v1/solve", solve); status != http.StatusOK {
+		t.Fatalf("post-fault solve: status %d: %s", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st FaultStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Enabled || st.Seed != 7 || st.Points[PointExecute].Errors != 1 {
+		t.Errorf("fault status = %+v", st)
+	}
+	if stats := serverStats(t, ts.URL); stats.Fault[PointExecute].Errors != 1 {
+		t.Errorf("stats fault counters = %+v", stats.Fault)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fault", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	if fault.Enabled() {
+		t.Error("schedule still armed after DELETE")
+	}
+
+	// Without EnableFaultInjection the endpoint does not exist.
+	_, plain := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+	if status, _ := postJSON(t, plain.URL+"/v1/fault", FaultRequest{Spec: "p:error"}); status != http.StatusNotFound {
+		t.Errorf("fault endpoint on plain server: status %d, want 404", status)
+	}
+}
+
+// TestSweepStatusAndResumeHTTP: an interrupted sweep is inspectable at
+// GET /v1/sweeps/{id} — partial rollup, classified errors — and a POST
+// with {"resume": id} completes the remainder.
+func TestSweepStatusAndResumeHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 16})
+	armPlan(t, fault.NewPlan(1, fault.Rule{Point: PointSweepPoint, Mode: fault.Error, After: 4}))
+
+	status, body := postJSON(t, ts.URL+"/v1/sweeps", fameSweep3x3())
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var first SweepResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID == "" || first.Completed != 4 || first.Failed != 5 {
+		t.Fatalf("interrupted sweep = %+v", first)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ss); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ss.ID != first.ID || ss.Status != "done" || ss.Completed != 4 || ss.Failed != 5 {
+		t.Fatalf("sweep status = %+v", ss)
+	}
+	if ss.ErrorCounts["fault_injected"] != 5 {
+		t.Errorf("status error counts = %v", ss.ErrorCounts)
+	}
+	if len(ss.Results) != 4 {
+		t.Errorf("status lists %d journaled results, want 4", len(ss.Results))
+	}
+
+	fault.Deactivate()
+	status, body = postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Resume: first.ID})
+	if status != http.StatusOK {
+		t.Fatalf("resume: status %d: %s", status, body)
+	}
+	var resumed SweepResponse
+	if err := json.Unmarshal(body, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Completed != 9 || resumed.Resumed != 4 {
+		t.Fatalf("resumed = %+v", resumed)
+	}
+
+	// Unknown IDs are a structured 404 on both routes.
+	if resp, err := http.Get(ts.URL + "/v1/sweeps/sw-nonesuch"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown status: %d", resp.StatusCode)
+		}
+	}
+	status, body = postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Resume: "sw-nonesuch"})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown resume: status %d: %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "unknown_sweep" {
+		t.Errorf("code = %s", e.Code)
+	}
+}
+
+// TestSweepSSEClientDisconnect: a client dropping a streaming sweep
+// mid-run cancels the remaining points — classified into the tracked
+// rollup, not silently lost — leaks no goroutines, and leaves the sweep
+// resumable by the ID announced in the first SSE event.
+func TestSweepSSEClientDisconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	_, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 16})
+	// Slow every point down so the disconnect lands mid-sweep.
+	armPlan(t, fault.NewPlan(1, fault.Rule{Point: PointSweepPoint, Mode: fault.Latency, Latency: 30 * time.Millisecond}))
+
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, &SweepRequest{
+		Family:      "xstream",
+		Concurrency: 1,
+		Grid:        map[string][]any{"mu": []any{1.0, 2.0, 3.0, 4.0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweeps", &buf)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the announce event (the sweep ID) and the first point event,
+	// then hang up.
+	sc := bufio.NewScanner(resp.Body)
+	var sweepID string
+	sawPoint := false
+	for sc.Scan() && !sawPoint {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: ") && sweepID == "":
+			var ev struct {
+				ID string `json:"sweep_id"`
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err == nil && ev.ID != "" {
+				sweepID = ev.ID
+			}
+		case line == "event: point":
+			sawPoint = true
+		}
+	}
+	if sweepID == "" || !sawPoint {
+		t.Fatalf("saw sweepID=%q point=%v before disconnect", sweepID, sawPoint)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server finishes the pass on its own: completed points are
+	// journaled, cancelled ones classified — nothing silently dropped.
+	var ss SweepStatus
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/sweeps/" + sweepID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(r.Body).Decode(&ss)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still running after disconnect: %+v", ss)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ss.Completed+ss.Failed != ss.GridPoints {
+		t.Fatalf("rollup does not account for every point: %+v", ss)
+	}
+	if ss.Completed < 1 {
+		t.Errorf("no point completed before disconnect: %+v", ss)
+	}
+	if ss.Failed > 0 && ss.ErrorCounts["canceled"] != ss.Failed {
+		t.Errorf("cancelled points classified as %v, want canceled", ss.ErrorCounts)
+	}
+
+	// No goroutine leak: the point runners, the queue jobs and the SSE
+	// handler all wind down.
+	waitFor(t, 5*time.Second, func() bool { return runtime.NumGoroutine() <= baseline+8 })
+
+	// The journal survives the disconnect: a bare resume completes the
+	// grid without re-running journaled points.
+	fault.Deactivate()
+	status, body := postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Resume: sweepID})
+	if status != http.StatusOK {
+		t.Fatalf("resume after disconnect: status %d: %s", status, body)
+	}
+	var resumed SweepResponse
+	if err := json.Unmarshal(body, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Completed != 4 {
+		t.Fatalf("resume after disconnect = %+v", resumed)
+	}
+	if resumed.Resumed != ss.Completed {
+		t.Errorf("resume restored %d points, journal had %d", resumed.Resumed, ss.Completed)
+	}
+}
+
+// TestSweepRunningConflict: resuming a sweep that is still executing is
+// a structured 409, not a second concurrent pass over the same journal.
+func TestSweepRunningConflict(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 16})
+	armPlan(t, fault.NewPlan(1, fault.Rule{Point: PointSweepPoint, Mode: fault.Latency, Latency: 50 * time.Millisecond}))
+
+	type outcome struct {
+		resp *SweepResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	idCh := make(chan string, 1)
+	go func() {
+		resp, err := s.runSweep(context.Background(), &SweepRequest{
+			Family:      "xstream",
+			Concurrency: 1,
+			Grid:        map[string][]any{"mu": []any{1.0, 2.0}},
+		}, sweepEvents{onStart: func(id string) { idCh <- id }})
+		done <- outcome{resp, err}
+	}()
+	id := <-idCh
+
+	status, body := postJSON(t, ts.URL+"/v1/sweeps", &SweepRequest{Resume: id})
+	if status != http.StatusConflict {
+		t.Fatalf("resume of running sweep: status %d: %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "sweep_running" {
+		t.Errorf("code = %s", e.Code)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.resp.Completed != 2 {
+		t.Errorf("background sweep = %+v", out.resp)
+	}
+}

@@ -18,23 +18,34 @@
 //	                   with Accept: text/event-stream or ?stream=1 the
 //	                   response streams progress events before the
 //	                   result (SSE).
-//	GET  /v1/stats   — queue, cache and artifact counters.
+//	POST /v1/sweeps  — run a parameter sweep; resumable by sweep ID.
+//	GET  /v1/sweeps/{id} — progress / partial rollup of a tracked sweep.
+//	GET  /v1/stats   — queue, cache, artifact and fault counters.
 //	GET  /healthz    — liveness.
+//	/v1/fault        — chaos-schedule admin (only with EnableFaultInjection).
 package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"multival"
 	"multival/internal/aut"
+	"multival/internal/fault"
 	"multival/internal/mcl"
 )
+
+// PointExecute is the fault point at the head of every queued pipeline
+// execution (after model resolution is admitted to a worker, before any
+// cache work).
+const PointExecute = "serve.execute"
 
 // Config sizes the service. The zero value is usable: a default engine,
 // one worker per core pair, a 64-entry cache, no deadlines.
@@ -60,6 +71,21 @@ type Config struct {
 	// per-request deadline_ms; zero means no cap.
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
+	// QueueHighWatermark arms admission-control shedding: once the queued
+	// depth reaches it, external submissions are rejected early (429
+	// queue_busy + Retry-After) while the remaining capacity stays
+	// reserved for already-admitted work (sweep-point resubmissions).
+	// 0 selects a default of QueueDepth minus a quarter (disabled when
+	// the depth is too small to spare headroom); negative disables
+	// shedding entirely.
+	QueueHighWatermark int
+	// SweepHistory bounds the registry of resumable sweep journals
+	// (< 1 selects 128).
+	SweepHistory int
+	// EnableFaultInjection exposes the /v1/fault admin endpoint (arm,
+	// inspect, disarm chaos schedules). Off by default: fault injection
+	// is a test and drill tool, not a production feature.
+	EnableFaultInjection bool
 }
 
 // Server is the service state: one base engine, one bounded queue, one
@@ -71,6 +97,7 @@ type Server struct {
 	queue  *Queue
 	cache  *Cache // derived artifacts: family models, functional models, perf models, measures, checks
 	models *Cache // uploaded models, keyed by content digest
+	sweeps *sweepRegistry
 	mux    *http.ServeMux
 	start  time.Time
 	builds buildCounters
@@ -148,14 +175,33 @@ func New(cfg Config) *Server {
 		queue:  NewQueue(cfg.QueueWorkers, cfg.QueueDepth),
 		cache:  NewCache(cfg.CacheEntries),
 		models: NewCache(cfg.ModelEntries),
+		sweeps: newSweepRegistry(cfg.SweepHistory),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+	}
+	wm := cfg.QueueHighWatermark
+	if wm == 0 {
+		// Default: reserve a quarter of the depth (at least one slot) for
+		// already-admitted work. Depth-1 queues have no headroom to
+		// reserve, so shedding stays off there.
+		depth := cfg.QueueDepth
+		if depth < 1 {
+			depth = 1
+		}
+		wm = depth - max(1, depth/4)
+	}
+	if wm > 0 {
+		s.queue.SetHighWatermark(wm)
 	}
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("/v1/sweeps/", s.handleSweepStatus)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if cfg.EnableFaultInjection {
+		s.mux.HandleFunc("/v1/fault", s.handleFault)
+	}
 	return s
 }
 
@@ -165,12 +211,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close stops accepting requests and waits for in-flight work to drain.
 func (s *Server) Close() { s.queue.Close() }
 
-// writeError writes the structured JSON error body for err.
+// Drain stops admission and waits for queued and in-flight work, bounded
+// by ctx (see Queue.Drain): on expiry it returns the context error while
+// the stragglers keep running under their own deadlines. Graceful
+// shutdown drains the queue first, then shuts the HTTP listener down.
+func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// writeError writes the structured JSON error body for err. Rejections
+// carrying a backoff hint (RetryAfterError) get the Retry-After header
+// (whole seconds, floored to 1 — the header has no finer unit) and the
+// millisecond-precision retry_after_ms body field clients should prefer.
 func writeError(w http.ResponseWriter, err error) {
 	code, status := ErrorCode(err)
+	body := ErrorBody{Error: Error{Code: code, Message: err.Error()}}
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		ms := ra.After.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		body.Error.RetryAfterMS = ms
+		secs := int64((ra.After + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = EncodeJSON(w, ErrorBody{Error: Error{Code: code, Message: err.Error()}})
+	_ = EncodeJSON(w, body)
 }
 
 // writeJSON writes v as the JSON response body.
@@ -518,6 +587,9 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.P
 	if executeHook != nil {
 		executeHook(req)
 	}
+	if err := fault.Hit(PointExecute); err != nil {
+		return nil, err
+	}
 	models, hashes, err := s.resolveModels(req)
 	if err != nil {
 		return nil, err
@@ -748,15 +820,19 @@ type ArtifactTotals struct {
 	Redirected      int `json:"redirected"`
 }
 
-// StatsBody is the response of GET /v1/stats.
+// StatsBody is the response of GET /v1/stats. Fault, present only while
+// a chaos schedule is armed, is the per-point injection counters — the
+// proof that a chaos run's faults actually fired.
 type StatsBody struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	Queue         QueueStats               `json:"queue"`
-	Cache         CacheStats               `json:"cache"`
-	Models        CacheStats               `json:"models"`
-	Builds        BuildStats               `json:"builds"`
-	Artifacts     ArtifactTotals           `json:"artifacts"`
-	Solver        multival.SolverFallbacks `json:"solver"`
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Queue         QueueStats                  `json:"queue"`
+	Cache         CacheStats                  `json:"cache"`
+	Models        CacheStats                  `json:"models"`
+	Builds        BuildStats                  `json:"builds"`
+	Artifacts     ArtifactTotals              `json:"artifacts"`
+	Solver        multival.SolverFallbacks    `json:"solver"`
+	Sweeps        int                         `json:"sweeps"`
+	Fault         map[string]fault.PointStats `json:"fault,omitempty"`
 }
 
 // Stats assembles the current service counters.
@@ -768,6 +844,10 @@ func (s *Server) Stats() StatsBody {
 		Models:        s.models.Stats(),
 		Builds:        s.builds.snapshot(),
 		Solver:        multival.SolverFallbackStats(),
+		Sweeps:        s.sweeps.size(),
+	}
+	if p := fault.Active(); p != nil {
+		body.Fault = p.Stats()
 	}
 	s.cache.Each(func(_ string, v any) {
 		pm, ok := v.(*multival.PerfModel)
@@ -789,4 +869,58 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// FaultRequest is the body of POST /v1/fault: a chaos schedule in the
+// fault-spec grammar (see internal/fault.ParseSpec) and the seed of its
+// probabilistic draws.
+type FaultRequest struct {
+	Spec string `json:"spec"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// FaultStatus reports the armed chaos schedule and its per-point
+// injection counters.
+type FaultStatus struct {
+	Enabled bool                        `json:"enabled"`
+	Seed    int64                       `json:"seed,omitempty"`
+	Points  map[string]fault.PointStats `json:"points,omitempty"`
+}
+
+// handleFault is the chaos admin endpoint (registered only with
+// EnableFaultInjection): POST arms a schedule, GET reports what fired,
+// DELETE disarms — returning the final counters so a drill script can
+// record them.
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req FaultRequest
+		if err := DecodeJSON(http.MaxBytesReader(nil, r.Body, 1<<20), &req); err != nil {
+			writeError(w, badRequestf("decoding request: %v", err))
+			return
+		}
+		rules, err := fault.ParseSpec(req.Spec)
+		if err != nil {
+			writeError(w, badRequestf("%v", err))
+			return
+		}
+		fault.Activate(fault.NewPlan(req.Seed, rules...))
+		writeJSON(w, FaultStatus{Enabled: true, Seed: req.Seed})
+	case http.MethodGet:
+		var st FaultStatus
+		if p := fault.Active(); p != nil {
+			st.Enabled, st.Seed, st.Points = true, p.Seed(), p.Stats()
+		}
+		writeJSON(w, st)
+	case http.MethodDelete:
+		var st FaultStatus
+		if p := fault.Active(); p != nil {
+			st.Seed, st.Points = p.Seed(), p.Stats()
+		}
+		fault.Deactivate()
+		writeJSON(w, st)
+	default:
+		w.Header().Set("Allow", "GET, POST, DELETE")
+		writeError(w, badRequestf("use GET, POST or DELETE"))
+	}
 }

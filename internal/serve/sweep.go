@@ -4,6 +4,13 @@
 // sharing automatic — grid points differing only in rates share one
 // functional model, points differing only in the query time share even
 // the lumped CTMC — and /v1/stats' build counters prove it.
+//
+// Execution is resilient by construction: every sweep gets an ID and a
+// journal of completed points (resume with {"resume": ID}, inspect with
+// GET /v1/sweeps/{id}), queue-full rejections are waited out under the
+// shared jittered backoff, and transiently failing points (a recovered
+// panic, an admission burst that outlived the backoff) are retried a
+// bounded number of times before they are classified into the rollup.
 
 package serve
 
@@ -12,16 +19,27 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multival"
+	"multival/internal/fault"
 	"multival/internal/lts"
+	"multival/internal/retry"
 	"multival/internal/sweep"
 )
 
+// PointSweepPoint is the fault point at the head of every sweep-point
+// execution attempt (before queue submission): an error rule fails the
+// attempt (retried if the injected sentinel is transient), a latency
+// rule slows the sweep down without changing its results.
+const PointSweepPoint = "serve.sweep.point"
+
 // SweepRequest is the body of POST /v1/sweeps: a family name, fixed
-// parameter values, and the grid of swept axes.
+// parameter values, and the grid of swept axes — or a resume of an
+// earlier sweep by ID.
 type SweepRequest struct {
 	// Family names a registered model family (fame, faust, xstream, chp,
 	// lotos).
@@ -31,6 +49,11 @@ type SweepRequest struct {
 	// cross product, axes sorted by name, rightmost fastest.
 	Params map[string]any   `json:"params,omitempty"`
 	Grid   map[string][]any `json:"grid,omitempty"`
+	// Resume names an earlier sweep whose journal of completed points is
+	// reused: journaled points are restored without re-execution and only
+	// the remainder runs. With an empty Family the stored request of the
+	// resumed sweep is replayed verbatim.
+	Resume string `json:"resume,omitempty"`
 	// Check lists property queries (mcl presets or raw formulas)
 	// evaluated against every instance's functional model.
 	Check []string `json:"check,omitempty"`
@@ -38,8 +61,14 @@ type SweepRequest struct {
 	Lump *bool `json:"lump,omitempty"`
 	// Concurrency bounds the number of instances in flight at once
 	// (default: the queue's worker count). The queue's own admission
-	// control still applies; the sweep retries briefly on a full queue.
+	// control still applies; the sweep waits out full queues under the
+	// shared backoff policy.
 	Concurrency int `json:"concurrency,omitempty"`
+	// MaxAttempts bounds the executions of one point: transient failures
+	// (recovered panics, admission bursts) are retried with backoff up to
+	// this many attempts before the point fails into the rollup
+	// (default 3, capped at 10).
+	MaxAttempts int `json:"max_attempts,omitempty"`
 	// DeadlineMS bounds the whole sweep; InstanceDeadlineMS bounds each
 	// instance (both capped by the server's MaxDeadline).
 	DeadlineMS         int `json:"deadline_ms,omitempty"`
@@ -51,22 +80,35 @@ type SweepRequest struct {
 
 // SweepPoint is the outcome of one grid point: its coordinates plus
 // either a result or a classified error. One diverging instance fails
-// alone — the sweep continues.
+// alone — the sweep continues. Resumed marks points restored from an
+// earlier run's journal instead of executed.
 type SweepPoint struct {
-	Index  int            `json:"index"`
-	Point  map[string]any `json:"point"`
-	Result *Result        `json:"result,omitempty"`
-	Error  *Error         `json:"error,omitempty"`
+	Index   int            `json:"index"`
+	Point   map[string]any `json:"point"`
+	Result  *Result        `json:"result,omitempty"`
+	Error   *Error         `json:"error,omitempty"`
+	Resumed bool           `json:"resumed,omitempty"`
+
+	// key is the content-addressed identity of the point (component keys
+	// + resolved pipeline spec); it stays server-side, keying the journal.
+	key string
 }
 
 // SweepResponse aggregates a sweep: per-point results in grid order plus
 // the sharing evidence (distinct models, builds performed during the
 // sweep, cache hits).
 type SweepResponse struct {
+	// ID identifies the sweep for GET /v1/sweeps/{id} and resume.
+	ID         string `json:"sweep_id"`
 	Family     string `json:"family"`
 	GridPoints int    `json:"grid_points"`
 	Completed  int    `json:"completed"`
 	Failed     int    `json:"failed"`
+	// Resumed counts points restored from the journal of the resumed
+	// sweep (included in Completed); Retries counts point execution
+	// retries performed under the transient-failure policy.
+	Resumed int   `json:"resumed,omitempty"`
+	Retries int64 `json:"retries,omitempty"`
 	// DistinctModels counts the distinct component model identities over
 	// the whole grid — the number of structural configurations actually
 	// present.
@@ -113,7 +155,8 @@ type sweepPlan struct {
 	fam            *sweep.Family
 	points         []sweep.Point
 	instances      []*sweep.Instance
-	planErrs       []error // per-point family build errors (nil = ok)
+	planErrs       []error  // per-point family build errors (nil = ok)
+	keys           []string // content-addressed point identities
 	distinctModels int
 }
 
@@ -140,6 +183,7 @@ func (s *Server) planSweep(req *SweepRequest) (*sweepPlan, error) {
 		points:    points,
 		instances: make([]*sweep.Instance, len(points)),
 		planErrs:  make([]error, len(points)),
+		keys:      make([]string, len(points)),
 	}
 	distinct := map[string]bool{}
 	for i, pt := range points {
@@ -149,12 +193,29 @@ func (s *Server) planSweep(req *SweepRequest) (*sweepPlan, error) {
 			continue
 		}
 		plan.instances[i] = inst
+		plan.keys[i] = pointKey(inst, req.instanceSpec(inst))
 		for _, c := range inst.Components {
 			distinct[c.Key] = true
 		}
 	}
 	plan.distinctModels = len(distinct)
 	return plan, nil
+}
+
+// pointKey is the content-addressed identity of one grid point: the
+// component keys plus the fully resolved pipeline spec — the same
+// identities the artifact cache layers on. Journals key on it, so a
+// resume matches points by what they compute.
+func pointKey(inst *sweep.Instance, spec pipeSpec) string {
+	type pk struct {
+		Components []string `json:"c"`
+		Spec       pipeSpec `json:"s"`
+	}
+	keys := make([]string, len(inst.Components))
+	for i, c := range inst.Components {
+		keys[i] = c.Key
+	}
+	return specHash(pk{Components: keys, Spec: spec})
 }
 
 // instanceSpec maps a resolved instance onto the layered pipeline spec.
@@ -179,34 +240,111 @@ func (req *SweepRequest) instanceSpec(inst *sweep.Instance) pipeSpec {
 	return spec
 }
 
-// submitRetry submits a job, waiting out transient queue-full rejections
-// until the context expires: sweep-level concurrency already bounds how
-// many instances compete, so full queues here are short-lived bursts.
+// submitPolicy shapes the wait on queue-full rejections: sweep-level
+// concurrency already bounds how many instances compete, so full queues
+// are short-lived bursts — start at a millisecond, double to a modest
+// cap, jitter to desynchronize the competing points, and let the context
+// bound the loop.
+var submitPolicy = retry.Policy{
+	Base:   time.Millisecond,
+	Factor: 2,
+	Cap:    50 * time.Millisecond,
+	Jitter: 0.5,
+}
+
+// submitRetry submits a job as reserved (already-admitted) work, waiting
+// out admission rejections under the shared backoff policy until the
+// context expires. Each backed-off resubmission is counted in
+// QueueStats.Retries.
 func (s *Server) submitRetry(ctx context.Context, job func(context.Context)) error {
-	for {
-		err := s.queue.Submit(ctx, job)
-		if err == nil || !errors.Is(err, ErrQueueFull) {
-			return err
-		}
-		select {
-		case <-time.After(2 * time.Millisecond):
-		case <-ctx.Done():
-			return ctx.Err()
-		}
+	pol := submitPolicy
+	pol.OnRetry = func(int, error, time.Duration) { s.queue.NoteRetry() }
+	return retry.Do(ctx, pol, func(err error) bool {
+		return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQueueBusy)
+	}, func(ctx context.Context) error {
+		return s.queue.SubmitReserved(ctx, job)
+	})
+}
+
+// pointPolicy shapes the bounded re-execution of transiently failed
+// points (recovered panics, admission bursts that outlived the submit
+// backoff).
+func pointPolicy(maxAttempts int) retry.Policy {
+	if maxAttempts < 1 {
+		maxAttempts = 3
 	}
+	if maxAttempts > 10 {
+		maxAttempts = 10
+	}
+	return retry.Policy{
+		Base:        2 * time.Millisecond,
+		Factor:      2,
+		Cap:         100 * time.Millisecond,
+		Jitter:      0.5,
+		MaxAttempts: maxAttempts,
+	}
+}
+
+// sweepEvents observes a sweep's lifecycle: onStart sees the sweep ID as
+// soon as it is assigned (before any point completes — an interrupted
+// client needs the ID to resume), onPoint each completed point in
+// completion order.
+type sweepEvents struct {
+	onStart func(id string)
+	onPoint func(SweepPoint)
 }
 
 // RunSweep executes a sweep: every grid point becomes one queued pipeline
 // execution, at most Concurrency in flight, each bounded by the instance
-// deadline. onPoint (optional) observes each completed point in
-// completion order; the response lists them in grid order. The error is
-// non-nil only for request-shape problems — per-point failures are
-// classified into the response.
+// deadline, transient failures retried under the shared policy. Completed
+// points are journaled under the sweep's ID; a request with Resume set
+// restores journaled points and executes only the remainder. onPoint
+// (optional) observes each completed point in completion order; the
+// response lists them in grid order. The error is non-nil only for
+// request-shape problems — per-point failures are classified into the
+// response.
 func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(SweepPoint)) (*SweepResponse, error) {
+	return s.runSweep(ctx, req, sweepEvents{onPoint: onPoint})
+}
+
+func (s *Server) runSweep(ctx context.Context, req *SweepRequest, ev sweepEvents) (*SweepResponse, error) {
+	var run *sweepRun
+	if req.Resume != "" {
+		prev, ok := s.sweeps.get(req.Resume)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", errUnknownSweep, req.Resume)
+		}
+		if req.Family == "" {
+			// Bare resume: replay the stored request against the journal.
+			prev.mu.Lock()
+			stored := prev.request
+			prev.mu.Unlock()
+			if stored == nil {
+				return nil, badRequestf("sweep %s has no stored request; repeat the family and grid", req.Resume)
+			}
+			replay := *stored
+			replay.Resume = req.Resume
+			if req.Concurrency > 0 {
+				replay.Concurrency = req.Concurrency
+			}
+			req = &replay
+		}
+		run = prev
+	}
 	plan, err := s.planSweep(req)
 	if err != nil {
 		return nil, err
 	}
+	if run == nil {
+		run = s.sweeps.create(plan.fam.Name)
+	}
+	if err := run.begin(req, len(plan.points)); err != nil {
+		return nil, err
+	}
+	if ev.onStart != nil {
+		ev.onStart(run.id)
+	}
+
 	start := time.Now()
 	buildsBefore := s.builds.snapshot()
 	cacheBefore := s.cache.Stats()
@@ -224,6 +362,7 @@ func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(S
 		instDeadline = s.cfg.MaxDeadline
 	}
 
+	var retries atomic.Int64
 	resCh := make(chan SweepPoint)
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
@@ -231,7 +370,7 @@ func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(S
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resCh <- s.runPoint(ctx, req, plan, i, sem, instDeadline)
+			resCh <- s.runPoint(ctx, req, plan, run, i, sem, instDeadline, &retries)
 		}(i)
 	}
 	go func() {
@@ -240,6 +379,7 @@ func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(S
 	}()
 
 	resp := &SweepResponse{
+		ID:             run.id,
 		Family:         plan.fam.Name,
 		GridPoints:     len(plan.points),
 		DistinctModels: plan.distinctModels,
@@ -248,19 +388,25 @@ func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(S
 	}
 	for sp := range resCh {
 		resp.Results[sp.Index] = sp
+		run.record(sp)
 		if sp.Error != nil {
 			resp.Failed++
 			resp.ErrorCounts[sp.Error.Code]++
 		} else {
 			resp.Completed++
+			if sp.Resumed {
+				resp.Resumed++
+			}
 		}
-		if onPoint != nil {
-			onPoint(sp)
+		if ev.onPoint != nil {
+			ev.onPoint(sp)
 		}
 	}
 	if len(resp.ErrorCounts) == 0 {
 		resp.ErrorCounts = nil
 	}
+	resp.Retries = retries.Load()
+	run.finish(resp.Retries)
 	resp.Builds = s.builds.snapshot().Sub(buildsBefore)
 	cacheAfter := s.cache.Stats()
 	resp.CacheHits = (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Shared - cacheBefore.Shared)
@@ -268,10 +414,12 @@ func (s *Server) RunSweep(ctx context.Context, req *SweepRequest, onPoint func(S
 	return resp, nil
 }
 
-// runPoint executes one grid point: acquire a concurrency slot, resolve
-// the family components, and run the pipeline spec on a queue worker.
-func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPlan, i int, sem chan struct{}, instDeadline time.Duration) SweepPoint {
-	sp := SweepPoint{Index: i, Point: plan.points[i].Coord}
+// runPoint executes one grid point: restore it from the journal if an
+// earlier run completed it, else acquire a concurrency slot and run the
+// pipeline spec on a queue worker, retrying transient failures under the
+// shared policy.
+func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPlan, run *sweepRun, i int, sem chan struct{}, instDeadline time.Duration, retries *atomic.Int64) SweepPoint {
+	sp := SweepPoint{Index: i, Point: plan.points[i].Coord, key: plan.keys[i]}
 	fail := func(err error) SweepPoint {
 		code, _ := ErrorCode(err)
 		sp.Error = &Error{Code: code, Message: err.Error()}
@@ -279,6 +427,14 @@ func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPla
 	}
 	if err := plan.planErrs[i]; err != nil {
 		return fail(err)
+	}
+	if prev, ok := run.lookup(sp.key); ok {
+		// Journaled by an earlier pass: restore without executing. The
+		// index and coordinates follow the current grid; the result is
+		// the journaled one.
+		sp.Result = prev.Result
+		sp.Resumed = true
+		return sp
 	}
 	select {
 	case sem <- struct{}{}:
@@ -294,12 +450,36 @@ func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPla
 	defer cancel()
 
 	inst := plan.instances[i]
+	pol := pointPolicy(req.MaxAttempts)
+	pol.OnRetry = func(int, error, time.Duration) { retries.Add(1) }
+	var res *Result
+	err := retry.Do(instCtx, pol, IsTransient, func(ctx context.Context) error {
+		r, err := s.attemptPoint(ctx, req, inst)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	sp.Result = res
+	return sp
+}
+
+// attemptPoint performs one execution attempt of a sweep point: submit
+// to the queue (waiting out admission bursts) and await the outcome.
+func (s *Server) attemptPoint(ctx context.Context, req *SweepRequest, inst *sweep.Instance) (*Result, error) {
+	if err := fault.Hit(PointSweepPoint); err != nil {
+		return nil, err
+	}
 	type outcome struct {
 		res *Result
 		err error
 	}
 	resCh := make(chan outcome, 1)
-	submitErr := s.submitRetry(instCtx, func(jobCtx context.Context) {
+	submitErr := s.submitRetry(ctx, func(jobCtx context.Context) {
 		defer func() {
 			if r := recover(); r != nil {
 				resCh <- outcome{err: internalf("executing sweep point panicked: %v", r)}
@@ -325,17 +505,13 @@ func (s *Server) runPoint(ctx context.Context, req *SweepRequest, plan *sweepPla
 		resCh <- outcome{res: res, err: err}
 	})
 	if submitErr != nil {
-		return fail(submitErr)
+		return nil, submitErr
 	}
 	select {
 	case out := <-resCh:
-		if out.err != nil {
-			return fail(out.err)
-		}
-		sp.Result = out.res
-		return sp
-	case <-instCtx.Done():
-		return fail(instCtx.Err())
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
@@ -345,6 +521,13 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, badRequestf("use POST"))
+		return
+	}
+	// Admission control for new sweep work: above the high watermark the
+	// request is shed with a Retry-After hint before any planning work,
+	// the same way /v1/solve submissions are.
+	if err := s.queue.Admit(); err != nil {
+		writeError(w, err)
 		return
 	}
 	var req SweepRequest
@@ -377,10 +560,11 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// SSE rollup: one "point" event per completed instance (completion
-	// order), then the aggregated "result". Events are emitted from the
-	// RunSweep collector goroutine — this handler's goroutine — so writes
-	// never interleave.
+	// SSE rollup: a "sweep" event first (the ID, so an interrupted client
+	// can still resume), one "point" event per completed instance
+	// (completion order), then the aggregated "result". Events are
+	// emitted from the RunSweep collector goroutine — this handler's
+	// goroutine — so writes never interleave.
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -393,8 +577,9 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	resp, err := s.RunSweep(ctx, &req, func(sp SweepPoint) {
-		emit("point", sp)
+	resp, err := s.runSweep(ctx, &req, sweepEvents{
+		onStart: func(id string) { emit("sweep", map[string]string{"sweep_id": id}) },
+		onPoint: func(sp SweepPoint) { emit("point", sp) },
 	})
 	if err != nil {
 		code, _ := ErrorCode(err)
@@ -402,6 +587,28 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	emit("result", resp)
+}
+
+// handleSweepStatus serves GET /v1/sweeps/{id}: live progress or the
+// final (possibly partial) rollup of a tracked sweep.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, badRequestf("use GET"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, badRequestf("want /v1/sweeps/{id}"))
+		return
+	}
+	run, ok := s.sweeps.get(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %s", errUnknownSweep, id))
+		return
+	}
+	includeResults := r.URL.Query().Get("results") != "0"
+	writeJSON(w, run.status(includeResults))
 }
 
 // Families returns the sweep family registry (for CLI listings).

@@ -1,0 +1,234 @@
+// Server-side sweep tracking: every POST /v1/sweeps gets an ID and a
+// journal of completed points keyed by their content-addressed layer
+// specs, so an interrupted sweep — client disconnect, deadline, crash of
+// the client side — is resumable: re-posting with {"resume": ID}
+// restores the journaled points without re-executing them and runs only
+// the remainder. GET /v1/sweeps/{id} reports live progress and the
+// partial rollup of interrupted runs, so nothing is silently dropped.
+
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// sweepRun is the server-side record of one sweep: identity, live
+// counters, and the journal of completed points. The journal keys are
+// content-addressed (component keys + resolved pipeline spec), so a
+// resume matches points by what they compute, not by grid position — a
+// reordered or extended grid resumes the sound subset.
+type sweepRun struct {
+	id      string
+	created time.Time
+
+	mu      sync.Mutex
+	family  string
+	request *SweepRequest // original request, reused by bare resumes
+	running bool
+	total   int
+	done    int // points answered in the current run (journal + fresh)
+	failed  int
+	resumed int
+	retries int64
+	errors  map[string]int
+	journal map[string]SweepPoint // successful points by content key
+}
+
+// begin marks the run as executing a (fresh or resumed) pass over total
+// points, resetting the per-pass counters; the journal persists. It
+// fails if a pass is already in flight.
+func (run *sweepRun) begin(req *SweepRequest, total int) error {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if run.running {
+		return fmt.Errorf("%w: %s", errSweepRunning, run.id)
+	}
+	run.running = true
+	run.request = req
+	run.total = total
+	run.done, run.failed, run.resumed = 0, 0, 0
+	run.retries = 0
+	run.errors = map[string]int{}
+	return nil
+}
+
+// lookup returns the journaled point for a content key, if any.
+func (run *sweepRun) lookup(key string) (SweepPoint, bool) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	sp, ok := run.journal[key]
+	return sp, ok
+}
+
+// record folds one completed point into the live counters and, on
+// success, into the journal. Called from the sweep collector goroutine.
+func (run *sweepRun) record(sp SweepPoint) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if sp.Error != nil {
+		run.failed++
+		run.errors[sp.Error.Code]++
+		return
+	}
+	run.done++
+	if sp.Resumed {
+		run.resumed++
+	}
+	if sp.key != "" {
+		run.journal[sp.key] = sp
+	}
+}
+
+// finish ends the current pass.
+func (run *sweepRun) finish(retries int64) {
+	run.mu.Lock()
+	run.running = false
+	run.retries = retries
+	run.mu.Unlock()
+}
+
+// SweepStatus is the response of GET /v1/sweeps/{id}: identity, live
+// progress (or the final partial rollup of an interrupted run), and the
+// journaled results so far in grid order.
+type SweepStatus struct {
+	ID         string `json:"sweep_id"`
+	Family     string `json:"family"`
+	Status     string `json:"status"` // "running" or "done"
+	GridPoints int    `json:"grid_points"`
+	Completed  int    `json:"completed"`
+	Failed     int    `json:"failed"`
+	Resumed    int    `json:"resumed,omitempty"`
+	Retries    int64  `json:"retries,omitempty"`
+	// ErrorCounts is the partial rollup of the latest pass: interrupted
+	// points surface here (classified, e.g. "canceled"), never silently
+	// dropped.
+	ErrorCounts map[string]int `json:"error_counts,omitempty"`
+	AgeSeconds  float64        `json:"age_seconds"`
+	// Results lists the journaled (successfully completed) points in
+	// grid order; failed points of the latest pass appear only in
+	// ErrorCounts until a resume completes them.
+	Results []SweepPoint `json:"results,omitempty"`
+}
+
+// status snapshots the run for the wire.
+func (run *sweepRun) status(includeResults bool) SweepStatus {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	st := SweepStatus{
+		ID:         run.id,
+		Family:     run.family,
+		Status:     "done",
+		GridPoints: run.total,
+		Completed:  run.done,
+		Failed:     run.failed,
+		Resumed:    run.resumed,
+		Retries:    run.retries,
+		AgeSeconds: time.Since(run.created).Seconds(),
+	}
+	if run.running {
+		st.Status = "running"
+	}
+	if len(run.errors) > 0 {
+		st.ErrorCounts = make(map[string]int, len(run.errors))
+		for k, v := range run.errors {
+			st.ErrorCounts[k] = v
+		}
+	}
+	if includeResults {
+		st.Results = make([]SweepPoint, 0, len(run.journal))
+		for _, sp := range run.journal {
+			st.Results = append(st.Results, sp)
+		}
+		sortSweepPoints(st.Results)
+	}
+	return st
+}
+
+func sortSweepPoints(pts []SweepPoint) {
+	// Insertion sort by grid index: journals are small (<= MaxPoints).
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j-1].Index > pts[j].Index; j-- {
+			pts[j-1], pts[j] = pts[j], pts[j-1]
+		}
+	}
+}
+
+// sweepRegistry is the bounded store of sweep runs, LRU-evicted like the
+// artifact caches: journals exist to resume recent interruptions, not to
+// archive history.
+type sweepRegistry struct {
+	mu    sync.Mutex
+	cap   int
+	runs  map[string]*sweepRun
+	order *list.List // MRU at front, of *sweepRun
+	elems map[string]*list.Element
+}
+
+func newSweepRegistry(capacity int) *sweepRegistry {
+	if capacity < 1 {
+		capacity = 128
+	}
+	return &sweepRegistry{
+		cap:   capacity,
+		runs:  make(map[string]*sweepRun),
+		order: list.New(),
+		elems: make(map[string]*list.Element),
+	}
+}
+
+// newSweepID mints a fresh sweep identifier.
+func newSweepID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to
+		// a time-derived ID rather than refusing sweeps.
+		return fmt.Sprintf("sw-%x", time.Now().UnixNano())
+	}
+	return "sw-" + hex.EncodeToString(b[:])
+}
+
+// create registers a new run for family.
+func (r *sweepRegistry) create(family string) *sweepRun {
+	run := &sweepRun{
+		id:      newSweepID(),
+		created: time.Now(),
+		family:  family,
+		errors:  map[string]int{},
+		journal: map[string]SweepPoint{},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs[run.id] = run
+	r.elems[run.id] = r.order.PushFront(run)
+	for r.order.Len() > r.cap {
+		oldest := r.order.Back()
+		victim := oldest.Value.(*sweepRun)
+		r.order.Remove(oldest)
+		delete(r.runs, victim.id)
+		delete(r.elems, victim.id)
+	}
+	return run
+}
+
+// get returns the run for id, refreshing its recency.
+func (r *sweepRegistry) get(id string) (*sweepRun, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	run, ok := r.runs[id]
+	if ok {
+		r.order.MoveToFront(r.elems[id])
+	}
+	return run, ok
+}
+
+// size reports the tracked-run count (for stats).
+func (r *sweepRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

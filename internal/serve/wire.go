@@ -15,10 +15,20 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"time"
 
 	"multival"
+	"multival/internal/fault"
 	"multival/internal/phasetype"
 )
+
+func init() {
+	// Make the admission sentinels addressable from fault-spec strings
+	// ("err=queue_full"), so chaos schedules can inject the exact errors
+	// the retry machinery classifies as transient.
+	fault.RegisterError("queue_full", ErrQueueFull)
+	fault.RegisterError("internal", errInternal)
+}
 
 // SolveRequest is the body of POST /v1/solve: one pipeline execution —
 // compose/hide/minimize/decorate/lump/solve — mirroring the Pipeline
@@ -232,9 +242,52 @@ func FitResultFrom(d *phasetype.Distribution, st phasetype.SampleStats) *FitResu
 
 // Error is a structured wire error: a stable machine-readable code plus
 // the human-readable message. Every error body is {"error": {...}}.
+// RetryAfterMS, present on admission rejections (429/503), is the
+// server's backoff hint — the millisecond twin of the Retry-After
+// header, derived from queue depth and observed job latency.
 type Error struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// RetryAfterError decorates a rejection with the server's backoff hint.
+// errors.Is/As see through it, so classification is unchanged; writeError
+// surfaces the hint as the Retry-After header and the retry_after_ms
+// body field.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string { return e.Err.Error() }
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// IsTransient classifies an error as worth retrying under the shared
+// backoff policy: admission rejections (the queue drains) and internal
+// failures (a panicked build has been unpublished from the cache; the
+// retry builds fresh) are transient, while semantic failures, deadline
+// and cancellation, and deliberately injected faults are permanent.
+// This is the transient-vs-permanent axis of the wire taxonomy — the
+// sweep runner and remote clients back off on exactly these.
+func IsTransient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false
+	case errors.Is(err, fault.ErrInjected):
+		// Default injections interrupt deterministically; a chaos
+		// schedule that wants retried faults injects a transient
+		// sentinel (err=queue_full, err=internal) instead.
+		return false
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueBusy):
+		return true
+	case errors.Is(err, errInternal):
+		return true
+	default:
+		return false
+	}
 }
 
 // ErrorBody is the envelope of every error response.
@@ -253,10 +306,18 @@ func ErrorCode(err error) (code string, status int) {
 		return "canceled", 499 // client closed request (nginx convention)
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full", http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueBusy):
+		return "queue_busy", http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueClosed):
 		return "shutting_down", http.StatusServiceUnavailable
 	case errors.Is(err, errUnknownModel):
 		return "unknown_model", http.StatusNotFound
+	case errors.Is(err, errUnknownSweep):
+		return "unknown_sweep", http.StatusNotFound
+	case errors.Is(err, errSweepRunning):
+		return "sweep_running", http.StatusConflict
+	case errors.Is(err, fault.ErrInjected):
+		return "fault_injected", http.StatusInternalServerError
 	case errors.Is(err, multival.ErrNoConvergence):
 		return "no_convergence", http.StatusUnprocessableEntity
 	case errors.Is(err, multival.ErrNondeterministic):
@@ -297,6 +358,13 @@ func badRequestf(format string, args ...any) error {
 
 // errUnknownModel reports a model_hash that names no stored model.
 var errUnknownModel = errors.New("model hash not found; upload via /v1/models or send the model inline")
+
+// errUnknownSweep reports a resume/status ID that names no tracked sweep
+// (never started, or evicted from the bounded sweep history).
+var errUnknownSweep = errors.New("sweep id not found (expired from history or never started)")
+
+// errSweepRunning reports a resume of a sweep that is still executing.
+var errSweepRunning = errors.New("sweep is still running")
 
 // EncodeJSON writes v as indented JSON followed by a newline: the one
 // serializer of both the HTTP service and the CLI -json mode, so outputs

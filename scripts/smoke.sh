@@ -83,4 +83,36 @@ echo "smoke: sweep against the running server (POST /v1/sweeps)"
 "$tmp/bin/sweep" -addr "$addr" -family faust -grid rate_b=1,2 | grep -q "0 family + 0 functional + 0 perf + 0 measure"
 kill "$serve_pid"
 
+echo "smoke: resilience (fault injection + kill-and-resume sweep)"
+"$tmp/bin/serve" -addr 127.0.0.1:0 -queue-workers 2 -chaos >"$tmp/chaos.log" 2>&1 &
+chaos_pid=$!
+trap 'kill "$serve_pid" "$chaos_pid" 2>/dev/null || :; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    caddr=$(sed -n 's/.*listening on //p' "$tmp/chaos.log")
+    [ -n "$caddr" ] && break
+    sleep 0.1
+done
+[ -n "$caddr" ] || { echo "smoke: chaos serve never reported its address"; cat "$tmp/chaos.log"; exit 1; }
+# Arm a deterministic interruption: every sweep point after the second
+# fails as if the server died mid-run.
+curl -fsS -X POST "$caddr/v1/fault" \
+    -d '{"spec": "serve.sweep.point:error:after=2", "seed": 7}' | grep -q '"enabled": true'
+# The 4-point sweep is cut short (exit 1 — tolerated here), leaving a
+# journal with exactly the two completed points.
+"$tmp/bin/sweep" -addr "$caddr" -family faust -grid rate_b=1,2,3,4 \
+    -json >"$tmp/interrupted.json" 2>/dev/null || true
+grep -q '"completed": 2' "$tmp/interrupted.json"
+grep -q '"fault_injected"' "$tmp/interrupted.json"
+sweep_id=$(sed -n 's/.*"sweep_id": "\([^"]*\)".*/\1/p' "$tmp/interrupted.json" | head -n1)
+[ -n "$sweep_id" ] || { echo "smoke: interrupted sweep reported no sweep_id"; cat "$tmp/interrupted.json"; exit 1; }
+# The journal is inspectable while the fault is still armed...
+curl -fsS "$caddr/v1/sweeps/$sweep_id?results=0" | grep -q '"completed": 2'
+# ...then disarm and resume by ID: the two journaled points come back
+# for free and only the remaining two execute.
+curl -fsS -X DELETE "$caddr/v1/fault" >/dev/null
+"$tmp/bin/sweep" -addr "$caddr" -resume "$sweep_id" -json >"$tmp/resumed.json"
+grep -q '"completed": 4' "$tmp/resumed.json"
+grep -q '"resumed": 2' "$tmp/resumed.json"
+kill "$chaos_pid"
+
 echo "smoke: OK"
