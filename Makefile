@@ -14,10 +14,11 @@ vet:
 # Race-enabled tests of the concurrent layers: the parallel refinement
 # engine, sharded product generation (the compose differential tests
 # force the multi-worker path), the pipeline package (root), the CSR
-# sweep kernels, the solvers sharding them across workers, and the
-# serving layer (queue workers + singleflight cache).
+# sweep kernels, the solvers sharding them across workers, the serving
+# layer (queue workers + singleflight cache), and the metrics registry
+# (lock-free counters/histograms hammered concurrently with scrapes).
 race:
-	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep ./internal/obs
 
 # Fault-injection suite under the race detector: sweeps under injected
 # errors/panics/latency must stay byte-identical to fault-free runs,

@@ -9,16 +9,26 @@
 //
 // Usage:
 //
-//	serve -addr 127.0.0.1:8080 [-queue-workers N] [-queue-depth N]
-//	      [-high-watermark N] [-cache-entries N] [-deadline D]
-//	      [-max-deadline D] [-drain-timeout D] [-workers N]
-//	      [-max-states N] [-progress]
+//	serve -addr 127.0.0.1:8080 [-debug-addr HOST:PORT] [-queue-workers N]
+//	      [-queue-depth N] [-high-watermark N] [-cache-entries N]
+//	      [-deadline D] [-max-deadline D] [-drain-timeout D] [-workers N]
+//	      [-max-states N] [-progress] [-quiet]
 //	      [-chaos] [-fault SPEC] [-fault-seed N]
 //
 // The actual listen address (useful with -addr :0) is printed on stderr
 // as "serve: listening on http://ADDR". On SIGINT/SIGTERM the server
 // drains: admission stops, queued and in-flight work finishes (bounded
 // by -drain-timeout), then the listener shuts down.
+//
+// -debug-addr (off by default) starts a second listener carrying the
+// operational surface: Prometheus metrics on /metrics and the standard
+// net/http/pprof profiling endpoints under /debug/pprof/. It is printed
+// as "serve: debug listening on http://ADDR". Keeping it on its own
+// listener means profiling and scraping never share the request port.
+//
+// Every request is logged as one JSON line on stderr (trace ID, route,
+// outcome code, latency, artifact digests); -quiet disables the request
+// log.
 //
 // -chaos exposes the /v1/fault admin endpoint for arming fault-injection
 // schedules at runtime; -fault arms one at startup (implies -chaos), in
@@ -34,6 +44,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,6 +62,8 @@ func main() {
 	c.MaxStatesFlag(1 << 20)
 	var (
 		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		debugAddr     = flag.String("debug-addr", "", "debug listener for /metrics and /debug/pprof (empty = disabled)")
+		quiet         = flag.Bool("quiet", false, "disable the per-request JSON log on stderr")
 		queueWorkers  = flag.Int("queue-workers", 2, "concurrent request executions")
 		queueDepth    = flag.Int("queue-depth", 64, "queued-request bound; beyond it requests get 429")
 		highWatermark = flag.Int("high-watermark", 0, "shed new work above this queued depth (0 = 3/4 of depth, negative = off)")
@@ -65,7 +78,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
-		c.Usage("serve -addr HOST:PORT [-queue-workers N] [-queue-depth N] [-high-watermark N] [-cache-entries N] [-deadline D] [-max-deadline D] [-drain-timeout D] [-workers N] [-max-states N] [-progress] [-chaos] [-fault SPEC] [-fault-seed N]")
+		c.Usage("serve -addr HOST:PORT [-debug-addr HOST:PORT] [-queue-workers N] [-queue-depth N] [-high-watermark N] [-cache-entries N] [-deadline D] [-max-deadline D] [-drain-timeout D] [-workers N] [-max-states N] [-progress] [-quiet] [-chaos] [-fault SPEC] [-fault-seed N]")
 	}
 
 	if *faultSpec != "" {
@@ -77,6 +90,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: fault schedule armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := serve.New(serve.Config{
 		Engine:               c.Engine(),
 		QueueWorkers:         *queueWorkers,
@@ -87,6 +104,7 @@ func main() {
 		DefaultDeadline:      *deadline,
 		MaxDeadline:          *maxDeadline,
 		EnableFaultInjection: *chaos || *faultSpec != "",
+		Logger:               logger,
 	})
 	defer srv.Close()
 
@@ -95,6 +113,17 @@ func main() {
 		c.Fatal(2, err)
 	}
 	fmt.Fprintf(os.Stderr, "serve: listening on http://%s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			c.Fatal(2, err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: debug listening on http://%s\n", dln.Addr())
+		// The debug surface has no draining to do: it dies with the
+		// process.
+		go func() { _ = http.Serve(dln, srv.DebugHandler()) }()
+	}
 
 	hs := &http.Server{Handler: srv}
 	done := make(chan error, 1)

@@ -276,9 +276,57 @@ func printSweep(resp *serve.SweepResponse) {
 	fmt.Printf("%d points (%d ok, %d failed)%s, %d distinct models; builds: %d family + %d functional + %d perf + %d measure + %d check; %d cache hits; %.1f ms\n",
 		resp.GridPoints, resp.Completed, resp.Failed, extra, resp.DistinctModels,
 		b.Family, b.Functional, b.Perf, b.Measure, b.Check, resp.CacheHits, resp.ElapsedMS)
+	printLatency(resp)
 	if resp.ID != "" {
 		fmt.Printf("sweep %s (resume with: sweep -addr URL -resume %s)\n", resp.ID, resp.ID)
 	}
+}
+
+// printLatency renders the per-point latency quantiles from the timing
+// telemetry the server stamps onto every executed point, overall and per
+// pipeline stage. Resumed points carry journaled timings from an earlier
+// run, so only freshly executed points count.
+func printLatency(resp *serve.SweepResponse) {
+	var points []float64
+	stageVals := map[string][]float64{}
+	var stageOrder []string
+	for _, sp := range resp.Results {
+		if sp.Error != nil || sp.Resumed || sp.Result == nil || sp.Result.DurationMS <= 0 {
+			continue
+		}
+		points = append(points, sp.Result.DurationMS)
+		for _, st := range sp.Result.Stages {
+			if _, seen := stageVals[st.Stage]; !seen {
+				stageOrder = append(stageOrder, st.Stage)
+			}
+			stageVals[st.Stage] = append(stageVals[st.Stage], st.MS)
+		}
+	}
+	if len(points) == 0 {
+		return
+	}
+	line := fmt.Sprintf("latency: p50 %.1f ms, p95 %.1f ms per point", quantile(points, 0.5), quantile(points, 0.95))
+	var parts []string
+	for _, st := range stageOrder {
+		parts = append(parts, fmt.Sprintf("%s %.1f/%.1f", st, quantile(stageVals[st], 0.5), quantile(stageVals[st], 0.95)))
+	}
+	if len(parts) > 0 {
+		line += "; stages p50/p95 ms: " + strings.Join(parts, ", ")
+	}
+	fmt.Println(line)
+}
+
+// quantile returns the nearest-rank quantile of vals (need not be
+// sorted).
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
 }
 
 // coordString renders a grid coordinate with sorted keys.

@@ -1,0 +1,99 @@
+// Prometheus text exposition: the registry renders version 0.0.4 text
+// format — families sorted by name, one HELP/TYPE pair each, series
+// sorted by label set, histograms with cumulative le buckets plus
+// _sum/_count. Locked by a golden test so the output shape is a
+// contract, not an accident.
+
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// formatFloat renders a sample value: integral values without an
+// exponent (counters read naturally), everything else in shortest
+// round-trip form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeSample appends one exposition line. suffix is reserved for
+// future timestamp support and is currently always "".
+func writeSample(b *strings.Builder, name, lbl, suffix string, v float64) {
+	b.WriteString(name)
+	if lbl != "" {
+		b.WriteByte('{')
+		b.WriteString(lbl)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteString(suffix)
+	b.WriteByte('\n')
+}
+
+// Expose renders the registry in Prometheus text format. The registry
+// lock is held for the whole render (registration is rare, scrapes are
+// seconds apart), so sampled func metrics must not call back into the
+// registry.
+func (r *Registry) Expose() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(strings.ReplaceAll(f.help, "\n", " "))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		sort.Strings(keys)
+		for _, key := range keys {
+			f.series[key].write(&b, f.name, key)
+		}
+	}
+	return b.String()
+}
+
+// WriteTo writes the exposition to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, r.Expose())
+	return int64(n), err
+}
+
+// Handler returns the /metrics scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

@@ -1,0 +1,330 @@
+// Package obs is the dependency-free observability core of the serving
+// stack: a metrics registry of atomic counters, gauges and fixed-bucket
+// latency histograms with Prometheus-text-format exposition, request
+// trace IDs, and a span recorder that rides the engine.Progress seam to
+// attribute wall time to pipeline stages (compose, minimize, decorate,
+// lump, solve, check).
+//
+// The package imports only the standard library and internal/engine, so
+// any layer can count things without pulling in the HTTP stack; the
+// serve layer owns one Registry per Server and exposes it (together with
+// net/http/pprof) on a separate debug listener, keeping profiling and
+// scraping off the request port.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric's label set. The registry canonicalizes it (keys
+// sorted) so the same name+labels always resolve to the same series.
+type Labels map[string]string
+
+// Registry holds metric families by name. All methods are safe for
+// concurrent use; registration is idempotent — asking for an existing
+// name+labels combination returns the already-registered series, so
+// hot paths may re-resolve lazily instead of threading handles around.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: its HELP/TYPE metadata plus every labeled
+// series registered under it.
+type family struct {
+	name, help string
+	typ        string // "counter", "gauge" or "histogram"
+	series     map[string]metric
+	order      []string // insertion order of series keys (exposition re-sorts)
+}
+
+// metric is the exposition contract of one labeled series.
+type metric interface {
+	// write appends the series' sample lines for the family name and
+	// rendered label string (may be "").
+	write(b *strings.Builder, name, lbl string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels canonicalizes a label set into its exposition form
+// (`key="value",...`, keys sorted, values escaped). Empty sets render
+// as "".
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// register resolves (or creates) the series for name+labels, enforcing
+// one metric type per name. mk builds the series on first registration.
+func (r *Registry) register(name, help, typ string, labels Labels, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]metric)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := mk()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the series to stay a counter; this is
+// not enforced, callers own their monotonicity).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(b *strings.Builder, name, lbl string) {
+	writeSample(b, name, lbl, "", float64(c.v.Load()))
+}
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; fine for low-rate gauges).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(b *strings.Builder, name, lbl string) {
+	writeSample(b, name, lbl, "", g.Value())
+}
+
+// funcMetric samples a callback at scrape time: the bridge for layers
+// that already keep their own counters (queue stats, cache stats, fault
+// points, solver fallbacks) — no double bookkeeping, one source of
+// truth.
+type funcMetric struct {
+	fn func() float64
+}
+
+func (m funcMetric) write(b *strings.Builder, name, lbl string) {
+	writeSample(b, name, lbl, "", m.fn())
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic
+// counts (non-cumulative internally, cumulative in exposition), a total
+// count, and an atomic float sum. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket le semantics are inclusive: v belongs to the first bucket
+	// with v <= bound.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an estimate of quantile q (0..1) from the bucket
+// counts: the upper bound of the bucket the quantile falls in (the
+// highest finite bound for the overflow bucket). Crude but monotone —
+// good enough for rollup p50/p95 lines.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) write(b *strings.Builder, name, lbl string) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", joinLabels(lbl, `le="`+formatFloat(bound)+`"`), "", float64(cum))
+	}
+	cum += h.inf.Load()
+	writeSample(b, name+"_bucket", joinLabels(lbl, `le="+Inf"`), "", float64(cum))
+	writeSample(b, name+"_sum", lbl, "", h.Sum())
+	writeSample(b, name+"_count", lbl, "", float64(cum))
+}
+
+// joinLabels appends extra rendered labels to an existing rendered set.
+func joinLabels(lbl, extra string) string {
+	if lbl == "" {
+		return extra
+	}
+	return lbl + "," + extra
+}
+
+// Counter registers (or resolves) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.register(name, help, "counter", labels, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or resolves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.register(name, help, "gauge", labels, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// CounterFunc registers a counter series sampled from fn at scrape
+// time. fn must be fast and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "counter", labels, func() metric { return funcMetric{fn} })
+}
+
+// GaugeFunc registers a gauge series sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, "gauge", labels, func() metric { return funcMetric{fn} })
+}
+
+// Histogram registers (or resolves) a histogram series over the given
+// bucket ladder (ascending upper bounds; +Inf is implicit). A nil or
+// empty ladder selects DefLatencyBuckets. Re-registrations ignore the
+// ladder of the existing series.
+func (r *Registry) Histogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	return r.register(name, help, "histogram", labels, func() metric {
+		if len(buckets) == 0 {
+			buckets = DefLatencyBuckets
+		}
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		sort.Float64s(bounds)
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	}).(*Histogram)
+}
+
+// DefLatencyBuckets is the default latency ladder in seconds: half a
+// millisecond to a minute, roughly 2.5x per step — wide enough for both
+// a cache-hit (~1ms) and a cold 100k-state solve (~1s).
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// ExpBuckets builds a ladder of n buckets starting at start, multiplied
+// by factor each step — the configurable-bucket constructor for series
+// whose dynamic range is known (e.g. queue wait vs full solve).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

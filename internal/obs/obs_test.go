@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the scrape output shape: HELP/TYPE lines,
+// family and series ordering, label escaping, histogram bucket
+// cumulativity with the implicit +Inf bucket and _sum/_count. Clients
+// (and the smoke test's greps) parse this; changes here are wire
+// changes.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_builds_total", "Artifact builds per layer.", Labels{"layer": "perf"}).Add(3)
+	r.Counter("test_builds_total", "Artifact builds per layer.", Labels{"layer": "measure"}).Add(9)
+	r.Gauge("test_queue_depth", "Jobs queued right now.", nil).Set(2)
+	r.GaugeFunc("test_uptime_seconds", "Seconds since start.", nil, func() float64 { return 1.5 })
+	h := r.Histogram("test_stage_seconds", "Stage latency.", Labels{"stage": "solve"}, []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.Counter("test_escapes_total", "Label escaping.", Labels{"path": "a\"b\\c\nd"}).Inc()
+
+	want := strings.Join([]string{
+		`# HELP test_builds_total Artifact builds per layer.`,
+		`# TYPE test_builds_total counter`,
+		`test_builds_total{layer="measure"} 9`,
+		`test_builds_total{layer="perf"} 3`,
+		`# HELP test_escapes_total Label escaping.`,
+		`# TYPE test_escapes_total counter`,
+		`test_escapes_total{path="a\"b\\c\nd"} 1`,
+		`# HELP test_queue_depth Jobs queued right now.`,
+		`# TYPE test_queue_depth gauge`,
+		`test_queue_depth 2`,
+		`# HELP test_stage_seconds Stage latency.`,
+		`# TYPE test_stage_seconds histogram`,
+		`test_stage_seconds_bucket{stage="solve",le="0.01"} 1`,
+		`test_stage_seconds_bucket{stage="solve",le="0.1"} 3`,
+		`test_stage_seconds_bucket{stage="solve",le="1"} 3`,
+		`test_stage_seconds_bucket{stage="solve",le="+Inf"} 4`,
+		`test_stage_seconds_sum{stage="solve"} 5.105`,
+		`test_stage_seconds_count{stage="solve"} 4`,
+		`# HELP test_uptime_seconds Seconds since start.`,
+		`# TYPE test_uptime_seconds gauge`,
+		`test_uptime_seconds 1.5`,
+		``,
+	}, "\n")
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryIdempotent: re-registering the same name+labels returns
+// the same series; same name with a different type panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"k": "v"})
+	b := r.Counter("x_total", "", Labels{"k": "v"})
+	if a != b {
+		t.Error("re-registration returned a distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("series not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting type registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", nil)
+}
+
+// TestHistogramBounds: le is inclusive, boundary values land in their
+// own bucket, and quantile estimates are monotone bucket bounds.
+func TestHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil, []float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 2, 3, 8} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 16 {
+		t.Errorf("sum = %g, want 16", got)
+	}
+	expo := r.Expose()
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="4"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+	} {
+		if !strings.Contains(expo, line+"\n") {
+			t.Errorf("exposition misses %q:\n%s", line, expo)
+		}
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %g, want 2", q)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Errorf("p99 = %g, want 4 (highest finite bound)", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", q)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if ExpBuckets(0, 2, 3) != nil || ExpBuckets(1, 1, 3) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("degenerate ladders must be nil")
+	}
+}
+
+// TestConcurrentHammer batters counters, gauges, histograms, lazy
+// registration and concurrent scrapes from many goroutines; run under
+// -race via the race job, it is the data-race lock on the registry.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "", Labels{"w": fmt.Sprint(w % 2)})
+			g := r.Gauge("hammer_gauge", "", nil)
+			h := r.Histogram("hammer_seconds", "", nil, []float64{0.001, 0.01, 0.1})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				if i%500 == 0 {
+					_ = r.Expose()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	total += r.Counter("hammer_total", "", Labels{"w": "0"}).Value()
+	total += r.Counter("hammer_total", "", Labels{"w": "1"}).Value()
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := r.Histogram("hammer_seconds", "", nil, nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("hammer_gauge", "", nil).Value(); got != workers*iters {
+		t.Errorf("gauge = %g, want %d", got, workers*iters)
+	}
+}

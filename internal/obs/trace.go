@@ -1,0 +1,206 @@
+// Request tracing: trace IDs and the per-request span recorder. The
+// recorder rides the engine.Progress seam — every progress event names
+// the operation stage it came from, so mapping stages onto the pipeline
+// phases (compose, minimize, decorate, lump, solve) and timing the
+// transitions attributes wall time per phase without instrumenting the
+// numeric kernels themselves. Layers without a progress stream (model
+// checking, cache-layer bracketing) switch stages explicitly with
+// Enter.
+
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"multival/internal/engine"
+)
+
+// NewTraceID mints a 16-hex-char request trace ID. Handlers honor an
+// inbound X-Request-Id instead when present, so fleet-level callers can
+// stitch one trace across servers.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a
+		// time-derived ID keeps requests traceable anyway.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Pipeline stage names, in pipeline order. StageOf maps the finer
+// engine.Progress stages onto them.
+const (
+	StageCompose  = "compose"
+	StageMinimize = "minimize"
+	StageDecorate = "decorate"
+	StageLump     = "lump"
+	StageSolve    = "solve"
+	StageCheck    = "check"
+)
+
+// Stages lists the pipeline stages in execution order (the fixed label
+// set of the per-stage latency histograms).
+var Stages = []string{StageCompose, StageMinimize, StageDecorate, StageLump, StageSolve, StageCheck}
+
+// StageOf maps an engine.Progress stage onto its pipeline stage:
+// generation and product composition are "compose", partition
+// refinement is "minimize", CTMC extraction is "decorate", lumping is
+// "lump", and every numeric stage (steady, transient, absorption,
+// first-passage, bias) is "solve". Unknown stages map to themselves so
+// new engine stages surface instead of vanishing.
+func StageOf(progressStage string) string {
+	switch progressStage {
+	case "generate", "compose":
+		return StageCompose
+	case "refine":
+		return StageMinimize
+	case "extract":
+		return StageDecorate
+	case "lump":
+		return StageLump
+	case "steady", "transient", "absorb", "fpt", "bias":
+		return StageSolve
+	default:
+		return progressStage
+	}
+}
+
+// Span is one recorded pipeline stage and its attributed wall time.
+type Span struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// SpanRecorder attributes a request's wall time to pipeline stages. It
+// keeps one open stage at a time: an observed event (or an explicit
+// Enter) of a different stage closes the open one, crediting it with
+// the time since it opened. Time before the first event is credited to
+// that first stage; a request that triggers no events (a fully warm
+// cache hit) records no spans at all. Concurrent pipeline stages (the
+// engine pre-minimizes composition operands in parallel) fold into
+// whichever stage reported last — wall-clock attribution, not CPU
+// accounting.
+//
+// A SpanRecorder is safe for concurrent use: progress hooks fire from
+// worker goroutines.
+type SpanRecorder struct {
+	mu       sync.Mutex
+	start    time.Time
+	cur      string
+	curStart time.Time
+	totals   map[string]time.Duration
+	order    []string // first-seen order
+	done     bool
+}
+
+// NewSpanRecorder starts a recorder; its creation time anchors the
+// first stage and the total duration.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{start: time.Now(), totals: make(map[string]time.Duration)}
+}
+
+// Observe folds one engine progress event into the recording.
+func (r *SpanRecorder) Observe(p engine.Progress) { r.Enter(StageOf(p.Stage)) }
+
+// Enter switches the open stage (a no-op when stage is already open or
+// after Finish). All recorder methods are nil-safe, so callers thread
+// an optional recorder without guarding every touch.
+func (r *SpanRecorder) Enter(stage string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done || stage == r.cur {
+		return
+	}
+	r.closeLocked(now)
+	if _, seen := r.totals[stage]; !seen {
+		r.order = append(r.order, stage)
+		r.totals[stage] = 0
+	}
+	r.cur, r.curStart = stage, now
+}
+
+// closeLocked credits the open stage up to now. The very first stage is
+// additionally credited with the setup time since the recorder started.
+func (r *SpanRecorder) closeLocked(now time.Time) {
+	if r.cur == "" {
+		return
+	}
+	start := r.curStart
+	if len(r.order) == 1 && r.totals[r.cur] == 0 {
+		start = r.start
+	}
+	r.totals[r.cur] += now.Sub(start)
+	r.cur = ""
+}
+
+// Finish closes the open stage and returns the spans in first-seen
+// order. Further events are ignored; Finish is idempotent (later calls
+// return the same spans).
+func (r *SpanRecorder) Finish() []Span {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.done {
+		r.closeLocked(now)
+		r.done = true
+	}
+	spans := make([]Span, 0, len(r.order))
+	for _, st := range r.order {
+		spans = append(spans, Span{Stage: st, Duration: r.totals[st]})
+	}
+	return spans
+}
+
+// Total returns the wall time since the recorder started (until Finish
+// froze it — after Finish it keeps returning the live clock; callers
+// take Total alongside Finish).
+func (r *SpanRecorder) Total() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// BuildInfo is the server's build identity for health endpoints.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build,
+	// a semver tag for released builds).
+	Version string `json:"version"`
+	// Revision is the VCS revision baked in by the toolchain, when
+	// available.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// ReadBuildInfo assembles the build identity from runtime metadata.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			info.Revision = s.Value
+		}
+	}
+	return info
+}

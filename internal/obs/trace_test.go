@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"multival/internal/engine"
+)
+
+func TestNewTraceID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	a, b := NewTraceID(), NewTraceID()
+	if !re.MatchString(a) || !re.MatchString(b) {
+		t.Fatalf("malformed trace IDs %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("trace IDs collide: %q", a)
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	cases := map[string]string{
+		"generate": StageCompose, "compose": StageCompose,
+		"refine":  StageMinimize,
+		"extract": StageDecorate,
+		"lump":    StageLump,
+		"steady":  StageSolve, "transient": StageSolve, "absorb": StageSolve,
+		"fpt": StageSolve, "bias": StageSolve,
+		"newfangled": "newfangled", // unknown stages surface as themselves
+	}
+	for in, want := range cases {
+		if got := StageOf(in); got != want {
+			t.Errorf("StageOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSpanRecorder drives the recorder through a compose → refine →
+// solve event sequence with real sleeps and checks the attribution:
+// stages appear in first-seen order, every span is positive, the first
+// stage absorbs the setup time before its first event, and the span sum
+// matches the recorder's total wall time.
+func TestSpanRecorder(t *testing.T) {
+	rec := NewSpanRecorder()
+	time.Sleep(2 * time.Millisecond) // setup time, credited to compose
+	rec.Observe(engine.Progress{Stage: "compose"})
+	time.Sleep(2 * time.Millisecond)
+	rec.Observe(engine.Progress{Stage: "compose", Done: true}) // same stage: no switch
+	rec.Observe(engine.Progress{Stage: "refine"})
+	time.Sleep(2 * time.Millisecond)
+	rec.Observe(engine.Progress{Stage: "steady"})
+	time.Sleep(2 * time.Millisecond)
+	total := rec.Total()
+	spans := rec.Finish()
+
+	want := []string{StageCompose, StageMinimize, StageSolve}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %+v, want stages %v", spans, want)
+	}
+	var sum time.Duration
+	for i, sp := range spans {
+		if sp.Stage != want[i] {
+			t.Errorf("span %d = %q, want %q", i, sp.Stage, want[i])
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("span %s has non-positive duration %v", sp.Stage, sp.Duration)
+		}
+		sum += sp.Duration
+	}
+	// The first stage absorbs recorder-start..first-event, so the spans
+	// cover the whole recording: sum ≈ total (within scheduling slop).
+	if sum < total-time.Millisecond {
+		t.Errorf("span sum %v does not cover total %v", sum, total)
+	}
+
+	// Finish is idempotent and freezes the recording.
+	rec.Observe(engine.Progress{Stage: "lump"})
+	again := rec.Finish()
+	if len(again) != len(spans) {
+		t.Errorf("post-Finish events changed the spans: %+v", again)
+	}
+}
+
+// TestSpanRecorderEmpty: a request with no events (a warm cache hit)
+// records no spans.
+func TestSpanRecorderEmpty(t *testing.T) {
+	rec := NewSpanRecorder()
+	if spans := rec.Finish(); len(spans) != 0 {
+		t.Fatalf("empty recorder produced spans: %+v", spans)
+	}
+}
+
+// TestSpanRecorderReentry: returning to an earlier stage accumulates
+// into one span instead of duplicating the stage.
+func TestSpanRecorderReentry(t *testing.T) {
+	rec := NewSpanRecorder()
+	rec.Enter(StageSolve)
+	time.Sleep(time.Millisecond)
+	rec.Enter(StageCheck)
+	time.Sleep(time.Millisecond)
+	rec.Enter(StageSolve)
+	time.Sleep(time.Millisecond)
+	spans := rec.Finish()
+	if len(spans) != 2 || spans[0].Stage != StageSolve || spans[1].Stage != StageCheck {
+		t.Fatalf("spans = %+v, want [solve check]", spans)
+	}
+	if spans[0].Duration < 2*time.Millisecond {
+		t.Errorf("re-entered solve span %v did not accumulate both visits", spans[0].Duration)
+	}
+}
+
+// TestSpanRecorderConcurrent: progress hooks fire from worker
+// goroutines; the recorder must tolerate concurrent events (run under
+// -race in the race job).
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder()
+	var wg sync.WaitGroup
+	stages := []string{"compose", "refine", "lump", "steady"}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rec.Observe(engine.Progress{Stage: stages[(w+i)%len(stages)]})
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := rec.Finish()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %+v, want all four stages", spans)
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.GoVersion == "" || bi.Version == "" {
+		t.Fatalf("build info incomplete: %+v", bi)
+	}
+}

@@ -1,0 +1,327 @@
+// End-to-end observability tests: the /metrics scrape after real
+// requests (cross-checked against /v1/stats), trace-ID propagation, the
+// structured request log, and a concurrent hammer that exercises the
+// metrics paths from forced multi-worker queues (the race job runs this
+// file under -race).
+
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scrapeMetrics fetches the debug handler's /metrics exposition.
+func scrapeMetrics(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.DebugHandler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Errorf("scrape Content-Type = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample value from an exposition. series is
+// the full series spelling, e.g. `multival_build_total{layer="perf"}`.
+func metricValue(t *testing.T, expo, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(expo)
+	if m == nil {
+		t.Fatalf("series %s absent from exposition:\n%s", series, expo)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("series %s has unparsable value %q", series, m[1])
+	}
+	return v
+}
+
+// TestMetricsEndToEnd runs one cold solve and one warm repeat, then
+// checks the scrape against the acceptance criteria: per-layer build
+// counters match /v1/stats, executed stages have non-empty latency
+// histograms, and the warm repeat moved the cache-hit counter by exactly
+// one.
+func TestMetricsEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 2, QueueDepth: 8})
+	req := map[string]any{
+		"model":    chainAut(60),
+		"rates":    map[string]float64{"go": 2, "hop": 1},
+		"markers":  []string{"go"},
+		"minimize": "strong",
+		"check":    []string{"deadlockfree"},
+	}
+
+	code, body := postJSON(t, ts.URL+"/v1/solve", req)
+	if code != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", code, body)
+	}
+	cold := decodeResult(t, body)
+	if cold.TraceID == "" {
+		t.Error("cold result has no trace ID")
+	}
+	if cold.DurationMS <= 0 {
+		t.Error("cold result has no duration")
+	}
+	if len(cold.Stages) == 0 {
+		t.Fatal("cold result has no stage timings")
+	}
+	got := map[string]bool{}
+	for _, st := range cold.Stages {
+		got[st.Stage] = true
+		if st.MS < 0 {
+			t.Errorf("stage %s has negative timing %v", st.Stage, st.MS)
+		}
+	}
+	for _, want := range []string{"compose", "decorate", "solve", "check"} {
+		if !got[want] {
+			t.Errorf("cold stages %v miss %q", cold.Stages, want)
+		}
+	}
+
+	expo := scrapeMetrics(t, s)
+	hitsBefore := metricValue(t, expo, `multival_cache_hits_total{cache="artifact"}`)
+
+	code, body = postJSON(t, ts.URL+"/v1/solve", req)
+	if code != http.StatusOK {
+		t.Fatalf("warm solve: status %d: %s", code, body)
+	}
+	warm := decodeResult(t, body)
+	if !warm.CacheHit {
+		t.Error("warm repeat was not a cache hit")
+	}
+	if len(warm.Stages) != 0 {
+		t.Errorf("warm repeat recorded stages %v, want none (nothing executed)", warm.Stages)
+	}
+
+	expo = scrapeMetrics(t, s)
+	st := s.Stats()
+
+	// Build counters: /metrics and /v1/stats must agree layer by layer.
+	for layer, want := range map[string]int64{
+		"family":     st.Builds.Family,
+		"functional": st.Builds.Functional,
+		"perf":       st.Builds.Perf,
+		"measure":    st.Builds.Measure,
+		"check":      st.Builds.Check,
+	} {
+		series := fmt.Sprintf(`multival_build_total{layer=%q}`, layer)
+		if got := metricValue(t, expo, series); got != float64(want) {
+			t.Errorf("%s = %g, stats says %d", series, got, want)
+		}
+	}
+	if st.Builds.Functional != 1 || st.Builds.Perf != 1 || st.Builds.Measure != 1 || st.Builds.Check != 1 {
+		t.Errorf("unexpected build counts: %+v", st.Builds)
+	}
+
+	// Every stage the cold request executed has a non-empty histogram
+	// (this includes lump and minimize, carved out of their builds by
+	// the engine's progress events).
+	for stage := range got {
+		series := fmt.Sprintf(`multival_stage_duration_seconds_count{stage=%q}`, stage)
+		if v := metricValue(t, expo, series); v < 1 {
+			t.Errorf("%s = %g, want >= 1", series, v)
+		}
+	}
+
+	// The warm repeat consulted each artifact layer exactly once — func,
+	// check, perf, measure, all hits, nothing rebuilt.
+	hitsAfter := metricValue(t, expo, `multival_cache_hits_total{cache="artifact"}`)
+	if hitsAfter-hitsBefore != 4 {
+		t.Errorf("cache-hit delta over warm repeat = %g, want exactly 4 (func+check+perf+measure)", hitsAfter-hitsBefore)
+	}
+
+	// Sampled bridges agree with the stats body too.
+	if got := metricValue(t, expo, `multival_queue_executed_total`); got != float64(st.Queue.Executed) {
+		t.Errorf("queue executed: metrics %g vs stats %d", got, st.Queue.Executed)
+	}
+	if got := metricValue(t, expo, `multival_requests_total{code="ok",route="solve"}`); got != 2 {
+		t.Errorf("requests_total{solve,ok} = %g, want 2", got)
+	}
+	if got := metricValue(t, expo, `multival_request_duration_seconds_count{route="solve"}`); got != 2 {
+		t.Errorf("request_duration count = %g, want 2", got)
+	}
+}
+
+// TestStatsSnapshotAndBuildInfo: the /v1/stats satellite fields.
+func TestStatsSnapshotAndBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+	st := serverStats(t, ts.URL)
+	if st.SnapshotUnixMS <= 0 {
+		t.Errorf("snapshot_unix_ms = %d, want > 0", st.SnapshotUnixMS)
+	}
+	if st.Server.GoVersion == "" || st.Server.Version == "" {
+		t.Errorf("server build info incomplete: %+v", st.Server)
+	}
+	st2 := serverStats(t, ts.URL)
+	if st2.SnapshotUnixMS < st.SnapshotUnixMS {
+		t.Errorf("snapshot timestamps went backwards: %d then %d", st.SnapshotUnixMS, st2.SnapshotUnixMS)
+	}
+}
+
+// TestTraceIDPropagation: an inbound X-Request-Id is honored in the
+// response header and result body; absent one, the server mints an ID.
+func TestTraceIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueWorkers: 1, QueueDepth: 4})
+	reqBody := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := EncodeJSON(&buf, map[string]any{"model": bufAut, "rates": map[string]float64{"put": 1, "get": 2}}); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", reqBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Request-Id", "caller-chosen-id-42")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-chosen-id-42" {
+		t.Errorf("response X-Request-Id = %q, want the inbound ID", got)
+	}
+	if res := decodeResult(t, body); res.TraceID != "caller-chosen-id-42" {
+		t.Errorf("result trace_id = %q, want the inbound ID", res.TraceID)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/solve", "application/json", reqBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(got) {
+		t.Errorf("minted X-Request-Id = %q, want 16 hex chars", got)
+	}
+}
+
+// TestRequestLog: with a Logger configured, every request emits exactly
+// one structured line carrying the trace ID, route, outcome code and
+// duration.
+func TestRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{
+		QueueWorkers: 1, QueueDepth: 4,
+		Logger: slog.New(slog.NewJSONHandler(lockedWriter, nil)),
+	})
+
+	code, _ := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"model": bufAut, "rates": map[string]float64{"put": 1, "get": 2},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("solve status %d", code)
+	}
+	// A malformed request logs its error code too.
+	code, _ = postJSON(t, ts.URL+"/v1/solve", map[string]any{"model": bufAut})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad solve status %d", code)
+	}
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var ok, bad map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &bad); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, lines[1])
+	}
+	if ok["route"] != "solve" || ok["code"] != "ok" {
+		t.Errorf("success line: route=%v code=%v", ok["route"], ok["code"])
+	}
+	if id, _ := ok["trace_id"].(string); id == "" {
+		t.Error("success line has no trace_id")
+	}
+	if d, _ := ok["duration_ms"].(float64); d <= 0 {
+		t.Error("success line has no duration_ms")
+	}
+	if hash, _ := ok["model_hash"].(string); hash == "" {
+		t.Error("success line has no model_hash")
+	}
+	if bad["code"] != "bad_request" {
+		t.Errorf("error line code=%v, want bad_request", bad["code"])
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestMetricsConcurrentHammer floods a forced multi-worker queue with a
+// mix of cold and warm requests while scraping /metrics concurrently —
+// the serve-layer data-race lock (run under -race in the race job).
+func TestMetricsConcurrentHammer(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueWorkers: 4, QueueDepth: 64, QueueHighWatermark: -1})
+	const workers = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Vary the rates so some requests build and some hit.
+				req := map[string]any{
+					"model": bufAut,
+					"rates": map[string]float64{"put": float64(1 + i%3), "get": 2},
+				}
+				code, body := postJSON(t, ts.URL+"/v1/solve", req)
+				if code != http.StatusOK {
+					t.Errorf("worker %d iter %d: status %d: %s", w, i, code, body)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = s.Metrics().Expose()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	expo := scrapeMetrics(t, s)
+	if got := metricValue(t, expo, `multival_requests_total{code="ok",route="solve"}`); got != workers*iters {
+		t.Errorf("requests_total = %g, want %d", got, workers*iters)
+	}
+	if got := metricValue(t, expo, `multival_build_total{layer="measure"}`); got != 3 {
+		t.Errorf("measure builds = %g, want 3 (one per distinct rate set)", got)
+	}
+}

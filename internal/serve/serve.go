@@ -30,16 +30,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"multival"
 	"multival/internal/aut"
 	"multival/internal/fault"
 	"multival/internal/mcl"
+	"multival/internal/obs"
 )
 
 // PointExecute is the fault point at the head of every queued pipeline
@@ -86,6 +87,10 @@ type Config struct {
 	// inspect, disarm chaos schedules). Off by default: fault injection
 	// is a test and drill tool, not a production feature.
 	EnableFaultInjection bool
+	// Logger, when set, receives one structured line per request (trace
+	// ID, route, outcome code, latency). Nil disables request logging —
+	// the default for embedded and test servers.
+	Logger *slog.Logger
 }
 
 // Server is the service state: one base engine, one bounded queue, one
@@ -101,18 +106,28 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 	builds buildCounters
+	log    *slog.Logger
+
+	// Observability (see metrics.go): the registry behind /metrics, the
+	// per-stage and per-route latency histograms, and the sweep counters.
+	metrics      *obs.Registry
+	stageHist    map[string]*obs.Histogram
+	reqHist      map[string]*obs.Histogram
+	sweepStarted *obs.Counter
+	sweepPoints  map[string]*obs.Counter
 }
 
 // buildCounters tallies the artifact builds actually performed, one
 // counter per cache layer. Cache hits do not increment them, so the
 // difference between grid points and builds is exactly the sharing a
-// sweep achieved.
+// sweep achieved. The counters are registry series (metrics.go), so
+// /v1/stats and /metrics report the same numbers from one source.
 type buildCounters struct {
-	family     atomic.Int64
-	functional atomic.Int64
-	perf       atomic.Int64
-	measure    atomic.Int64
-	check      atomic.Int64
+	family     *obs.Counter
+	functional *obs.Counter
+	perf       *obs.Counter
+	measure    *obs.Counter
+	check      *obs.Counter
 }
 
 // BuildStats is the wire snapshot of the per-layer artifact build
@@ -149,11 +164,11 @@ func (b BuildStats) Sub(prev BuildStats) BuildStats {
 
 func (c *buildCounters) snapshot() BuildStats {
 	return BuildStats{
-		Family:     c.family.Load(),
-		Functional: c.functional.Load(),
-		Perf:       c.perf.Load(),
-		Measure:    c.measure.Load(),
-		Check:      c.check.Load(),
+		Family:     c.family.Value(),
+		Functional: c.functional.Value(),
+		Perf:       c.perf.Value(),
+		Measure:    c.measure.Value(),
+		Check:      c.check.Value(),
 	}
 }
 
@@ -178,7 +193,9 @@ func New(cfg Config) *Server {
 		sweeps: newSweepRegistry(cfg.SweepHistory),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		log:    cfg.Logger,
 	}
+	s.initObservability()
 	wm := cfg.QueueHighWatermark
 	if wm == 0 {
 		// Default: reserve a quarter of the depth (at least one slot) for
@@ -296,16 +313,23 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestf("use POST"))
 		return
 	}
+	t0 := time.Now()
+	traceID := traceIDFrom(r)
+	w.Header().Set("X-Request-Id", traceID)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxModelBytes))
 	if err != nil {
-		writeError(w, badRequestf("reading body: %v", err))
+		err = badRequestf("reading body: %v", err)
+		s.logRequest(traceID, routeModels, err, time.Since(t0))
+		writeError(w, err)
 		return
 	}
 	sm, err := s.storeModel(string(body))
 	if err != nil {
+		s.logRequest(traceID, routeModels, err, time.Since(t0))
 		writeError(w, err)
 		return
 	}
+	s.logRequest(traceID, routeModels, nil, time.Since(t0), slog.String("model_hash", sm.hash))
 	writeJSON(w, ModelInfo{Hash: sm.hash, States: sm.m.States(), Transitions: sm.m.Transitions()})
 }
 
@@ -433,14 +457,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestf("use POST"))
 		return
 	}
+	t0 := time.Now()
+	traceID := traceIDFrom(r)
+	w.Header().Set("X-Request-Id", traceID)
 	req, err := decodeSolveRequest(r)
 	if err != nil {
+		s.logRequest(traceID, routeSolve, err, time.Since(t0))
 		writeError(w, err)
 		return
 	}
 
 	ctx, cancel := s.requestDeadline(r, req)
 	defer cancel()
+
+	// The span recorder attributes this request's wall time to pipeline
+	// stages: cache-layer builds bracket their stage explicitly and the
+	// engine's progress events refine the switches within a build. A
+	// fully cache-served request triggers neither, so it records no
+	// spans — executed stages only.
+	rec := obs.NewSpanRecorder()
 
 	// The progress relay decouples the engine hook from the response
 	// stream: sends never block (buffered, drop-on-full), so a hook
@@ -450,6 +485,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// evict the oldest snapshot instead of being dropped themselves.
 	relay := make(chan multival.Progress, 32)
 	hook := func(p multival.Progress) {
+		rec.Observe(p)
 		for {
 			select {
 			case relay <- p:
@@ -480,30 +516,57 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				panic(r)
 			}
 		}()
-		res, err := s.execute(ctx, req, hook)
+		res, err := s.execute(ctx, req, hook, rec)
 		resCh <- solveOutcome{res: res, err: err}
 	})
 	if submitErr != nil {
+		s.logRequest(traceID, routeSolve, submitErr, time.Since(t0))
 		writeError(w, submitErr)
 		return
 	}
 
+	// finalize stamps the trace identity and timing block onto a
+	// successful result just before it is written; logOutcome emits the
+	// request's one structured log line (and the per-route metrics)
+	// either way.
+	finalize := func(res *Result) {
+		res.TraceID = traceID
+		res.DurationMS = durationMS(time.Since(t0))
+		res.Stages = s.recordStages(rec)
+	}
+	logOutcome := func(res *Result, err error) {
+		var attrs []slog.Attr
+		if res != nil {
+			attrs = append(attrs,
+				slog.String("model_hash", res.ModelHash),
+				slog.Bool("cache_hit", res.CacheHit))
+		}
+		s.logRequest(traceID, routeSolve, err, time.Since(t0), attrs...)
+	}
+
 	if streaming {
-		s.streamSolve(ctx, w, relay, resCh)
+		res, err := s.streamSolve(ctx, w, relay, resCh, finalize)
+		logOutcome(res, err)
 		return
 	}
 	select {
 	case out := <-resCh:
 		if out.err != nil {
+			s.recordStages(rec) // partial stages still feed the histograms
+			logOutcome(nil, out.err)
 			writeError(w, out.err)
 			return
 		}
+		finalize(out.res)
+		logOutcome(out.res, nil)
 		writeJSON(w, out.res)
 	case <-ctx.Done():
 		// Deadline hit while queued or mid-computation: the job either
 		// never runs (the queue skips done contexts) or aborts at its
 		// next round boundary. Either way the client gets the
 		// structured deadline error now.
+		s.recordStages(rec)
+		logOutcome(nil, ctx.Err())
 		writeError(w, ctx.Err())
 	}
 }
@@ -541,8 +604,10 @@ func wantsStream(r *http.Request) bool {
 }
 
 // streamSolve writes the SSE response: progress events while the job
-// runs, then one result or error event.
-func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, relay <-chan multival.Progress, resCh <-chan solveOutcome) {
+// runs, then one result or error event. finalize stamps trace identity
+// and stage timings onto the result before it is emitted; the outcome
+// is returned so the caller can write its log line.
+func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, relay <-chan multival.Progress, resCh <-chan solveOutcome, finalize func(*Result)) (*Result, error) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
@@ -563,14 +628,15 @@ func (s *Server) streamSolve(ctx context.Context, w http.ResponseWriter, relay <
 			if out.err != nil {
 				code, _ := ErrorCode(out.err)
 				emit("error", ErrorBody{Error: Error{Code: code, Message: out.err.Error()}})
-				return
+				return nil, out.err
 			}
+			finalize(out.res)
 			emit("result", out.res)
-			return
+			return out.res, nil
 		case <-ctx.Done():
 			code, _ := ErrorCode(ctx.Err())
 			emit("error", ErrorBody{Error: Error{Code: code, Message: ctx.Err().Error()}})
-			return
+			return nil, ctx.Err()
 		}
 	}
 }
@@ -583,7 +649,7 @@ var executeHook func(*SolveRequest)
 // execute runs one request on a queue worker: materialize the models
 // (inline texts parse here, not on the handler goroutine, so the queue
 // bounds that CPU work too), then run the layered pipeline over them.
-func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.ProgressFunc) (*Result, error) {
+func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.ProgressFunc, rec *obs.SpanRecorder) (*Result, error) {
 	if executeHook != nil {
 		executeHook(req)
 	}
@@ -612,7 +678,7 @@ func (s *Server) execute(ctx context.Context, req *SolveRequest, hook multival.P
 	if req.At != nil {
 		spec.Kind, spec.At = "transient", *req.At
 	}
-	return s.executeSpec(ctx, models, hashes, spec, hook)
+	return s.executeSpec(ctx, models, hashes, spec, hook, rec)
 }
 
 // pipeSpec is the fully resolved description of one pipeline execution —
@@ -637,7 +703,13 @@ type pipeSpec struct {
 // executeSpec runs the layered pipeline: share or build the functional
 // model, evaluate property queries on it, share or build the performance
 // model and the measures, then assemble the wire result.
-func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hashes []string, spec pipeSpec, hook multival.ProgressFunc) (*Result, error) {
+//
+// rec (optional) is the request's span recorder: each cache layer's
+// build function opens its pipeline stage on entry, so cache hits and
+// singleflight joins record nothing — executed stages only — while the
+// engine's progress events refine the switches within a build (compose →
+// minimize, decorate → lump).
+func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hashes []string, spec pipeSpec, hook multival.ProgressFunc, rec *obs.SpanRecorder) (*Result, error) {
 	var opts []multival.Option
 	if spec.Workers > 0 {
 		opts = append(opts, multival.WithWorkers(spec.Workers))
@@ -653,6 +725,7 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 	fSpec := funcSpec{ModelHashes: hashes, Sync: spec.Sync, Hide: spec.Hide, Minimize: spec.Minimize}
 	funcKey := "func/" + specHash(fSpec)
 	v, _, err := s.cache.Do(ctx, funcKey, func() (any, error) {
+		rec.Enter(obs.StageCompose)
 		p := eng.Compose(models...).Sync(spec.Sync...).Hide(spec.Hide...)
 		if spec.Minimize != "" {
 			rel, err := multival.ParseRelation(spec.Minimize)
@@ -675,7 +748,7 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 
 	var checks []QueryCheck
 	for _, q := range spec.Check {
-		cr, err := s.runCheck(ctx, funcKey, fm, q)
+		cr, err := s.runCheck(ctx, funcKey, fm, q, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -691,6 +764,7 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 	}
 	perfKey := "perf/" + specHash(pSpec)
 	v, _, err = s.cache.Do(ctx, perfKey, func() (any, error) {
+		rec.Enter(obs.StageDecorate)
 		p := eng.Compose(fm).DecorateGateRates(spec.Rates, spec.Markers...)
 		if spec.Lump {
 			p = p.Lump()
@@ -709,6 +783,7 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 
 	mSpec := measureSpec{Perf: perfKey, Kind: spec.Kind, At: spec.At}
 	v, hit, err := s.cache.Do(ctx, "measure/"+specHash(mSpec), func() (any, error) {
+		rec.Enter(obs.StageSolve)
 		if spec.Kind == "transient" {
 			ms, err := pm.Transient(ctx, spec.At)
 			if err != nil {
@@ -735,6 +810,9 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 	res.CacheHit = hit
 	res.Checks = checks
 	if len(spec.MeanTimeTo) > 0 {
+		// First-passage and bound solves are computed per request (not
+		// cached), so they are solve-stage work even on warm pipelines.
+		rec.Enter(obs.StageSolve)
 		res.MeanTimes = make(map[string]float64, len(spec.MeanTimeTo))
 		for _, lab := range spec.MeanTimeTo {
 			t, err := pm.MeanTimeTo(ctx, lab)
@@ -745,6 +823,7 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 		}
 	}
 	if len(spec.Bounds) > 0 {
+		rec.Enter(obs.StageSolve)
 		res.Bounds = make(map[string][2]float64, len(spec.Bounds))
 		for _, lab := range spec.Bounds {
 			lo, hi, err := pm.ThroughputBounds(ctx, lab)
@@ -763,9 +842,10 @@ func (s *Server) executeSpec(ctx context.Context, models []*multival.Model, hash
 // fails cleanly while the evaluation is abandoned (its CPU is lost but
 // the worker is not wedged — verdict sizes are bounded by the functional
 // model, which minimization has already shrunk).
-func (s *Server) runCheck(ctx context.Context, funcKey string, fm *multival.Model, query string) (QueryCheck, error) {
+func (s *Server) runCheck(ctx context.Context, funcKey string, fm *multival.Model, query string, rec *obs.SpanRecorder) (QueryCheck, error) {
 	cSpec := checkSpec{Func: funcKey, Query: query}
 	v, _, err := s.cache.Do(ctx, "check/"+specHash(cSpec), func() (any, error) {
+		rec.Enter(obs.StageCheck)
 		f, err := mcl.ParseQuery(query)
 		if err != nil {
 			return nil, badRequestf("%v", err)
@@ -824,7 +904,14 @@ type ArtifactTotals struct {
 // a chaos schedule is armed, is the per-point injection counters — the
 // proof that a chaos run's faults actually fired.
 type StatsBody struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// SnapshotUnixMS timestamps this snapshot (Unix milliseconds), so
+	// pollers can order and rate samples without trusting their own
+	// clocks against retries and proxies.
+	SnapshotUnixMS int64 `json:"snapshot_unix_ms"`
+	// Server is the binary's build identity (module version, VCS
+	// revision when stamped, Go toolchain).
+	Server        obs.BuildInfo               `json:"server"`
 	Queue         QueueStats                  `json:"queue"`
 	Cache         CacheStats                  `json:"cache"`
 	Models        CacheStats                  `json:"models"`
@@ -838,8 +925,10 @@ type StatsBody struct {
 // Stats assembles the current service counters.
 func (s *Server) Stats() StatsBody {
 	body := StatsBody{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Queue:         s.queue.Stats(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		SnapshotUnixMS: time.Now().UnixMilli(),
+		Server:         obs.ReadBuildInfo(),
+		Queue:          s.queue.Stats(),
 		Cache:         s.cache.Stats(),
 		Models:        s.models.Stats(),
 		Builds:        s.builds.snapshot(),

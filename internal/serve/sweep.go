@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"multival"
 	"multival/internal/fault"
 	"multival/internal/lts"
+	"multival/internal/obs"
 	"multival/internal/retry"
 	"multival/internal/sweep"
 )
@@ -127,8 +129,9 @@ type SweepResponse struct {
 
 // famComponent shares or builds one family component model, publishing it
 // in the model store so later requests can address it by content digest.
-func (s *Server) famComponent(ctx context.Context, c sweep.Component) (*storedModel, error) {
+func (s *Server) famComponent(ctx context.Context, c sweep.Component, rec *obs.SpanRecorder) (*storedModel, error) {
 	v, _, err := s.cache.Do(ctx, "fam/"+specHash(c.Key), func() (any, error) {
+		rec.Enter(obs.StageCompose)
 		l, err := c.Build()
 		if err != nil {
 			return nil, err
@@ -341,6 +344,7 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest, ev sweepEvents
 	if err := run.begin(req, len(plan.points)); err != nil {
 		return nil, err
 	}
+	s.sweepStarted.Inc()
 	if ev.onStart != nil {
 		ev.onStart(run.id)
 	}
@@ -392,10 +396,13 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest, ev sweepEvents
 		if sp.Error != nil {
 			resp.Failed++
 			resp.ErrorCounts[sp.Error.Code]++
+			s.sweepPoints["failed"].Inc()
 		} else {
 			resp.Completed++
+			s.sweepPoints["completed"].Inc()
 			if sp.Resumed {
 				resp.Resumed++
+				s.sweepPoints["resumed"].Inc()
 			}
 		}
 		if ev.onPoint != nil {
@@ -479,6 +486,11 @@ func (s *Server) attemptPoint(ctx context.Context, req *SweepRequest, inst *swee
 		err error
 	}
 	resCh := make(chan outcome, 1)
+	// Each attempt gets its own span recorder: the point's result carries
+	// a per-point timing block (cmd/sweep aggregates these into per-point
+	// latency quantiles) and every executed stage feeds the same
+	// histograms /v1/solve feeds.
+	rec := obs.NewSpanRecorder()
 	submitErr := s.submitRetry(ctx, func(jobCtx context.Context) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -491,7 +503,7 @@ func (s *Server) attemptPoint(ctx context.Context, req *SweepRequest, inst *swee
 		var err error
 		for ci, c := range inst.Components {
 			var sm *storedModel
-			sm, err = s.famComponent(jobCtx, c)
+			sm, err = s.famComponent(jobCtx, c, rec)
 			if err != nil {
 				break
 			}
@@ -501,7 +513,7 @@ func (s *Server) attemptPoint(ctx context.Context, req *SweepRequest, inst *swee
 			resCh <- outcome{err: err}
 			return
 		}
-		res, err := s.executeSpec(jobCtx, models, hashes, req.instanceSpec(inst), nil)
+		res, err := s.executeSpec(jobCtx, models, hashes, req.instanceSpec(inst), nil, rec)
 		resCh <- outcome{res: res, err: err}
 	})
 	if submitErr != nil {
@@ -509,8 +521,15 @@ func (s *Server) attemptPoint(ctx context.Context, req *SweepRequest, inst *swee
 	}
 	select {
 	case out := <-resCh:
+		if out.res != nil {
+			out.res.DurationMS = durationMS(rec.Total())
+			out.res.Stages = s.recordStages(rec)
+		} else {
+			s.recordStages(rec)
+		}
 		return out.res, out.err
 	case <-ctx.Done():
+		s.recordStages(rec)
 		return nil, ctx.Err()
 	}
 }
@@ -523,17 +542,23 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequestf("use POST"))
 		return
 	}
+	t0 := time.Now()
+	traceID := traceIDFrom(r)
+	w.Header().Set("X-Request-Id", traceID)
 	// Admission control for new sweep work: above the high watermark the
 	// request is shed with a Retry-After hint before any planning work,
 	// the same way /v1/solve submissions are.
 	if err := s.queue.Admit(); err != nil {
+		s.logRequest(traceID, routeSweep, err, time.Since(t0))
 		writeError(w, err)
 		return
 	}
 	var req SweepRequest
 	body := http.MaxBytesReader(nil, r.Body, maxModelBytes)
 	if err := DecodeJSON(body, &req); err != nil {
-		writeError(w, badRequestf("decoding request: %v", err))
+		err = badRequestf("decoding request: %v", err)
+		s.logRequest(traceID, routeSweep, err, time.Since(t0))
+		writeError(w, err)
 		return
 	}
 
@@ -550,8 +575,22 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
+	// logSweep writes the request's one structured line (and per-route
+	// metrics); the rollup identities let log readers find the sweep.
+	logSweep := func(resp *SweepResponse, err error) {
+		var attrs []slog.Attr
+		if resp != nil {
+			attrs = append(attrs,
+				slog.String("sweep_id", resp.ID),
+				slog.Int("grid_points", resp.GridPoints),
+				slog.Int("failed", resp.Failed))
+		}
+		s.logRequest(traceID, routeSweep, err, time.Since(t0), attrs...)
+	}
+
 	if !wantsStream(r) {
 		resp, err := s.RunSweep(ctx, &req, nil)
+		logSweep(resp, err)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -581,6 +620,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		onStart: func(id string) { emit("sweep", map[string]string{"sweep_id": id}) },
 		onPoint: func(sp SweepPoint) { emit("point", sp) },
 	})
+	logSweep(resp, err)
 	if err != nil {
 		code, _ := ErrorCode(err)
 		emit("error", ErrorBody{Error: Error{Code: code, Message: err.Error()}})

@@ -91,11 +91,16 @@ func TestSweepSharesArtifacts(t *testing.T) {
 	}
 }
 
-// canonicalResult renders a Result as JSON with the cache marker cleared.
+// canonicalResult renders a Result as JSON with the cache marker and the
+// nondeterministic telemetry fields (trace identity, timings) cleared —
+// the semantic identity differential tests compare byte for byte.
 func canonicalResult(t *testing.T, r *Result) string {
 	t.Helper()
 	c := *r
 	c.CacheHit = false
+	c.TraceID = ""
+	c.DurationMS = 0
+	c.Stages = nil
 	b, err := json.Marshal(&c)
 	if err != nil {
 		t.Fatal(err)

@@ -108,6 +108,18 @@ type Result struct {
 	// CacheHit reports that the measures came from the artifact cache
 	// (set by the server; local CLI runs leave it false).
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// TraceID is the request's trace identity (the inbound X-Request-Id
+	// when the caller set one, minted otherwise), echoed here and in the
+	// X-Request-Id response header so results correlate with server
+	// logs. Server-only; local CLI runs leave it empty.
+	TraceID string `json:"trace_id,omitempty"`
+	// DurationMS is the request's wall time on the server, and Stages
+	// attributes it to pipeline stages (executed stages only: a fully
+	// cache-served request has no stages). Both are timing telemetry,
+	// not part of the result's semantic identity — differential tests
+	// must mask them.
+	DurationMS float64       `json:"duration_ms,omitempty"`
+	Stages     []StageTiming `json:"stages,omitempty"`
 	// Probabilities lists the states with probability above 1e-12, in
 	// CTMC state order (present only when requested).
 	Probabilities []StateProb `json:"probabilities,omitempty"`
@@ -121,6 +133,13 @@ type Result struct {
 	// Checks lists the model-checking verdicts of the request's property
 	// queries, in request order.
 	Checks []QueryCheck `json:"checks,omitempty"`
+}
+
+// StageTiming is one entry of a result's timing block: a pipeline stage
+// the request actually executed and the wall time attributed to it.
+type StageTiming struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
 }
 
 // QueryCheck is one server-side model-checking verdict: the query as

@@ -60,15 +60,17 @@ echo "smoke: sweep (local grid with cache sharing + checks)"
 
 echo "smoke: serve (start, solve, cache-hit repeat, stats)"
 go build -o "$tmp/bin/serve-client" ./examples/serve-client
-"$tmp/bin/serve" -addr 127.0.0.1:0 -queue-workers 2 >"$tmp/serve.log" 2>&1 &
+"$tmp/bin/serve" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -queue-workers 2 >"$tmp/serve.log" 2>&1 &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/.*listening on //p' "$tmp/serve.log")
-    [ -n "$addr" ] && break
+    addr=$(sed -n 's/^serve: listening on //p' "$tmp/serve.log")
+    dbg=$(sed -n 's/^serve: debug listening on //p' "$tmp/serve.log")
+    [ -n "$addr" ] && [ -n "$dbg" ] && break
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "smoke: serve never reported its address"; cat "$tmp/serve.log"; exit 1; }
+[ -n "$dbg" ] || { echo "smoke: serve never reported its debug address"; cat "$tmp/serve.log"; exit 1; }
 # Cold solve...
 "$tmp/bin/serve-client" -addr "$addr" -model "$tmp/buf.min.aut" \
     -rate put=1 -rate get=2 -marker get | grep -q '"throughputs"'
@@ -76,6 +78,24 @@ done
 "$tmp/bin/serve-client" -addr "$addr" -model "$tmp/buf.min.aut" \
     -rate put=1 -rate get=2 -marker get | grep -q '"cache_hit": true'
 "$tmp/bin/serve-client" -addr "$addr" -stats | grep -q '"extractions": 1'
+
+echo "smoke: observability (/metrics scrape, stage latencies, pprof, request log)"
+curl -fsS "$dbg/metrics" >"$tmp/metrics.txt"
+# Cold solve built one artifact per cache layer...
+grep -q 'multival_build_total{layer="functional"} 1' "$tmp/metrics.txt"
+grep -q 'multival_build_total{layer="perf"} 1' "$tmp/metrics.txt"
+grep -q 'multival_build_total{layer="measure"} 1' "$tmp/metrics.txt"
+# ...the warm repeat hit the cache...
+grep -Eq 'multival_cache_hits_total\{cache="artifact"\} [1-9]' "$tmp/metrics.txt"
+# ...and the executed pipeline stages have non-empty latency histograms.
+grep -Eq 'multival_stage_duration_seconds_count\{stage="compose"\} [1-9]' "$tmp/metrics.txt"
+grep -Eq 'multival_stage_duration_seconds_count\{stage="solve"\} [1-9]' "$tmp/metrics.txt"
+grep -Eq 'multival_requests_total\{code="ok",route="solve"\} 2' "$tmp/metrics.txt"
+# pprof rides the same debug listener.
+curl -fsS "$dbg/debug/pprof/cmdline" >/dev/null
+# One structured log line per request, trace ID included.
+grep -q '"route":"solve"' "$tmp/serve.log"
+grep -q '"trace_id"' "$tmp/serve.log"
 
 echo "smoke: sweep against the running server (POST /v1/sweeps)"
 "$tmp/bin/sweep" -addr "$addr" -family faust -grid rate_b=1,2 -json | grep -q '"completed": 2'
@@ -88,7 +108,7 @@ echo "smoke: resilience (fault injection + kill-and-resume sweep)"
 chaos_pid=$!
 trap 'kill "$serve_pid" "$chaos_pid" 2>/dev/null || :; rm -rf "$tmp"' EXIT
 for _ in $(seq 1 100); do
-    caddr=$(sed -n 's/.*listening on //p' "$tmp/chaos.log")
+    caddr=$(sed -n 's/^serve: listening on //p' "$tmp/chaos.log")
     [ -n "$caddr" ] && break
     sleep 0.1
 done
