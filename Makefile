@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos smoke bench bench-engine bench-solver check
+.PHONY: build test vet lint race chaos smoke bench bench-engine bench-solver check
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,14 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis: builds the multivet vettool (cached
+# in bin/) and runs its five analyzers — maporder, ctxloop, frozenmut,
+# sentinelwrap, faultpoint — as `go vet -vettool`, plus the stock vet
+# passes and the analyzer suite's own golden tests. See README "Static
+# analysis" for the contract catalog and the lint:ignore grammar.
+lint:
+	./scripts/lint.sh
+
 # Race-enabled tests of the concurrent layers: the parallel refinement
 # engine, sharded product generation (the compose differential tests
 # force the multi-worker path), the pipeline package (root), the CSR
@@ -18,7 +26,7 @@ vet:
 # layer (queue workers + singleflight cache), and the metrics registry
 # (lock-free counters/histograms hammered concurrently with scrapes).
 race:
-	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep ./internal/obs
+	$(GO) test -race . ./internal/bisim ./internal/sparse ./internal/compose ./internal/markov ./internal/imc ./internal/serve ./internal/sweep ./internal/obs ./internal/fault ./internal/retry
 
 # Fault-injection suite under the race detector: sweeps under injected
 # errors/panics/latency must stay byte-identical to fault-free runs,
@@ -54,4 +62,4 @@ bench-engine:
 bench-solver:
 	./scripts/bench.sh
 
-check: build vet test race chaos smoke
+check: build vet test lint race chaos smoke

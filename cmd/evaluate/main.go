@@ -128,7 +128,7 @@ func fitSamples(path string, jsonOut bool) error {
 	for sc.Scan() {
 		v, err := strconv.ParseFloat(sc.Text(), 64)
 		if err != nil {
-			return fmt.Errorf("sample %d: %v", len(samples)+1, err)
+			return fmt.Errorf("sample %d: %w", len(samples)+1, err)
 		}
 		samples = append(samples, v)
 	}

@@ -227,7 +227,7 @@ func (r *RateFlag) Set(v string) error {
 	}
 	rate, err := strconv.ParseFloat(rateStr, 64)
 	if err != nil {
-		return fmt.Errorf("bad rate in %q: %v", v, err)
+		return fmt.Errorf("bad rate in %q: %w", v, err)
 	}
 	if r.Rates == nil {
 		r.Rates = map[string]float64{}

@@ -86,6 +86,9 @@ func main() {
 		if err != nil {
 			c.Fatal(2, err)
 		}
+		if err := fault.ValidateRules(rules); err != nil {
+			c.Fatal(2, err)
+		}
 		fault.Activate(fault.NewPlan(*faultSeed, rules...))
 		fmt.Fprintf(os.Stderr, "serve: fault schedule armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}

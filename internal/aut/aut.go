@@ -198,7 +198,7 @@ func parseHeader(line string) (init, ntrans, nstates int, err error) {
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return 0, 0, 0, fmt.Errorf("des header field %d: %v", i, err)
+			return 0, 0, 0, fmt.Errorf("des header field %d: %w", i, err)
 		}
 		nums[i] = n
 	}
@@ -220,7 +220,7 @@ func parseTransition(line string) (src int, label string, dst int, err error) {
 	}
 	src, err = strconv.Atoi(strings.TrimSpace(body[:i]))
 	if err != nil {
-		return 0, "", 0, fmt.Errorf("bad source state: %v", err)
+		return 0, "", 0, fmt.Errorf("bad source state: %w", err)
 	}
 	rest := strings.TrimSpace(body[i+1:])
 
@@ -255,7 +255,7 @@ func parseTransition(line string) (src int, label string, dst int, err error) {
 		}
 		dst, err = strconv.Atoi(strings.TrimSpace(rest))
 		if err != nil {
-			return 0, "", 0, fmt.Errorf("bad destination state: %v", err)
+			return 0, "", 0, fmt.Errorf("bad destination state: %w", err)
 		}
 		return src, label, dst, nil
 	}
@@ -270,7 +270,7 @@ func parseTransition(line string) (src int, label string, dst int, err error) {
 	}
 	dst, err = strconv.Atoi(strings.TrimSpace(rest[j+1:]))
 	if err != nil {
-		return 0, "", 0, fmt.Errorf("bad destination state: %v", err)
+		return 0, "", 0, fmt.Errorf("bad destination state: %w", err)
 	}
 	return src, label, dst, nil
 }

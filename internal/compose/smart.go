@@ -111,6 +111,11 @@ func SmartReduceCtx(ctx context.Context, n *Network, rel bisim.Relation, opt bis
 	// gates that some declaring item can no longer offer.
 	pruneDeadGates := func() {
 		for {
+			// Pruning is an optimization: on cancellation stop early and
+			// let the next MinimizeCtx round surface ctx.Err.
+			if ctx.Err() != nil {
+				return
+			}
 			dead := map[string]bool{}
 			for _, it := range items {
 				alpha := alphabet(it.l)

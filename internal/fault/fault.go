@@ -60,6 +60,10 @@ func (m Mode) String() string {
 // registered transient sentinel instead (e.g. "queue_full").
 var ErrInjected = errors.New("fault: injected")
 
+// ErrEmptySpec reports a fault-spec string that compiled to no rules;
+// callers distinguish it from grammar errors with errors.Is.
+var ErrEmptySpec = errors.New("fault: empty spec")
+
 // Rule arms one fault point. A hit is eligible when its 1-based count at
 // the point is past After and the rule has fired fewer than Times times
 // (Times 0 = unlimited); an eligible hit then fires with probability
@@ -258,6 +262,62 @@ func RegisterError(name string, err error) {
 	errReg[name] = err
 }
 
+// Point-name registry: the packages that compile Hit seams register
+// their Point… constants at init, so specs arriving through -fault flags
+// or the admin API can be validated up front — a typo in a point name
+// otherwise arms nothing, silently.
+var (
+	pointRegMu sync.Mutex
+	pointReg   = map[string]bool{}
+	pointKeys  []string
+)
+
+// ErrUnknownPoint reports a rule naming a point no package registered.
+var ErrUnknownPoint = errors.New("fault: unknown point")
+
+// RegisterPoint records name as a compiled-in fault point. The declaring
+// package calls it from init for every entry of its point catalog.
+func RegisterPoint(name string) {
+	pointRegMu.Lock()
+	defer pointRegMu.Unlock()
+	if !pointReg[name] {
+		pointReg[name] = true
+		pointKeys = append(pointKeys, name)
+		sort.Strings(pointKeys)
+	}
+}
+
+// KnownPoint reports whether name was registered as a fault point.
+func KnownPoint(name string) bool {
+	pointRegMu.Lock()
+	defer pointRegMu.Unlock()
+	return pointReg[name]
+}
+
+// Points returns the registered point names, sorted.
+func Points() []string {
+	pointRegMu.Lock()
+	defer pointRegMu.Unlock()
+	return append([]string(nil), pointKeys...)
+}
+
+// ValidateRules rejects rules naming unregistered points (wrapping
+// ErrUnknownPoint). An empty registry validates anything, so packages
+// and tests that arm ad hoc seams without a catalog keep working.
+func ValidateRules(rules []Rule) error {
+	pointRegMu.Lock()
+	defer pointRegMu.Unlock()
+	if len(pointReg) == 0 {
+		return nil
+	}
+	for _, r := range rules {
+		if !pointReg[r.Point] {
+			return fmt.Errorf("%w: %q (known points: %s)", ErrUnknownPoint, r.Point, strings.Join(pointKeys, ", "))
+		}
+	}
+	return nil
+}
+
 // ParseSpec compiles a fault-spec string into rules. The grammar is
 //
 //	spec  = rule *( ";" rule )
@@ -336,7 +396,7 @@ func ParseSpec(spec string) ([]Rule, error) {
 		rules = append(rules, r)
 	}
 	if len(rules) == 0 {
-		return nil, errors.New("fault: empty spec")
+		return nil, ErrEmptySpec
 	}
 	return rules, nil
 }

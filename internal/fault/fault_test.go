@@ -175,3 +175,47 @@ func TestParseSpecRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestEmptySpecSentinel: an all-whitespace spec fails with ErrEmptySpec,
+// distinguishable from grammar errors via errors.Is.
+func TestEmptySpecSentinel(t *testing.T) {
+	if _, err := ParseSpec(" ; ; "); !errors.Is(err, ErrEmptySpec) {
+		t.Fatalf("ParseSpec(blank) = %v, want ErrEmptySpec", err)
+	}
+}
+
+// TestPointRegistry covers registration, lookup and spec validation in
+// one test: the registry is process-global, so the empty-registry
+// behavior must be observed before the first RegisterPoint call.
+func TestPointRegistry(t *testing.T) {
+	// Empty registry: anything validates (ad hoc seams in tests).
+	if err := ValidateRules([]Rule{{Point: "anything.goes"}}); err != nil {
+		t.Fatalf("empty registry rejected rules: %v", err)
+	}
+
+	RegisterPoint("reg.b")
+	RegisterPoint("reg.a")
+	RegisterPoint("reg.b") // duplicate registration is idempotent
+
+	if !KnownPoint("reg.a") || !KnownPoint("reg.b") {
+		t.Error("registered points not known")
+	}
+	if KnownPoint("reg.c") {
+		t.Error("unregistered point reported known")
+	}
+	pts := Points()
+	if len(pts) != 2 || pts[0] != "reg.a" || pts[1] != "reg.b" {
+		t.Errorf("Points() = %v, want sorted [reg.a reg.b]", pts)
+	}
+
+	if err := ValidateRules([]Rule{{Point: "reg.a"}, {Point: "reg.b"}}); err != nil {
+		t.Errorf("cataloged rules rejected: %v", err)
+	}
+	err := ValidateRules([]Rule{{Point: "reg.a"}, {Point: "typo.seam"}})
+	if !errors.Is(err, ErrUnknownPoint) {
+		t.Fatalf("ValidateRules(typo) = %v, want ErrUnknownPoint", err)
+	}
+	if !strings.Contains(err.Error(), "typo.seam") || !strings.Contains(err.Error(), "reg.a") {
+		t.Errorf("validation error should name the typo and the known points: %v", err)
+	}
+}

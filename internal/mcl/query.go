@@ -62,7 +62,7 @@ func ParseQuery(q string) (Formula, error) {
 	// Not a preset: the query is a raw mu-calculus formula.
 	f, err := Parse(query)
 	if err != nil {
-		return nil, fmt.Errorf("mcl: query %q is neither a preset nor a formula: %v", q, err)
+		return nil, fmt.Errorf("mcl: query %q is neither a preset nor a formula: %w", q, err)
 	}
 	return f, nil
 }

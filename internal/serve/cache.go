@@ -157,6 +157,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func() (any, error)) (v a
 			return nil, false, e.err
 		}
 		e.elem = c.order.PushFront(e)
+		//lint:ignore multivet/ctxloop eviction drains at most len(entries)-cap items, bounded by cache size
 		for c.order.Len() > c.cap {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)

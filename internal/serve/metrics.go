@@ -33,6 +33,15 @@ var faultPoints = []string{
 	PointSweepPoint,
 }
 
+// The catalog doubles as the runtime registry: registering at init lets
+// fault.ValidateRules reject -fault/admin specs that name no compiled-in
+// seam (and multivet/faultpoint keeps catalog and constants in sync).
+func init() {
+	for _, p := range faultPoints {
+		fault.RegisterPoint(p)
+	}
+}
+
 // initObservability builds the server's registry: owned counters
 // (builds, sweep points, requests), sampled bridges over the existing
 // layer counters, and the per-stage latency histograms. Called once

@@ -993,6 +993,10 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 			writeError(w, badRequestf("%v", err))
 			return
 		}
+		if err := fault.ValidateRules(rules); err != nil {
+			writeError(w, badRequestf("%v", err))
+			return
+		}
 		fault.Activate(fault.NewPlan(req.Seed, rules...))
 		writeJSON(w, FaultStatus{Enabled: true, Seed: req.Seed})
 	case http.MethodGet:

@@ -385,6 +385,9 @@ var errUnknownSweep = errors.New("sweep id not found (expired from history or ne
 // errSweepRunning reports a resume of a sweep that is still executing.
 var errSweepRunning = errors.New("sweep is still running")
 
+// errTrailingData reports extra content after a request's JSON body.
+var errTrailingData = errors.New("trailing data after JSON body")
+
 // EncodeJSON writes v as indented JSON followed by a newline: the one
 // serializer of both the HTTP service and the CLI -json mode, so outputs
 // are byte-comparable across transports.
@@ -413,7 +416,7 @@ func DecodeJSON(r io.Reader, v any) error {
 		return err
 	}
 	if dec.More() {
-		return errors.New("trailing data after JSON body")
+		return errTrailingData
 	}
 	return nil
 }

@@ -285,7 +285,7 @@ func Expand(fam *Family, fixed map[string]any, grid map[string][]any) ([]Point, 
 			// loudly instead of poisoning Build's type assertions.
 			dv, err := normalize(p, p.Default)
 			if err != nil {
-				return nil, fmt.Errorf("family %q default: %v", fam.Name, err)
+				return nil, fmt.Errorf("family %q default: %w", fam.Name, err)
 			}
 			base[p.Name] = dv
 		}

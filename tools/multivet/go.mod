@@ -1,0 +1,3 @@
+module multivet
+
+go 1.22

@@ -1,0 +1,312 @@
+// Package analysis is the dependency-free core of the multivet lint
+// suite: a deliberately small re-implementation of the golang.org/x/tools
+// go/analysis model (Analyzer, Pass, Diagnostic) plus the
+// `//lint:ignore multivet/<name> reason` suppression grammar shared by
+// the vet driver and the fixture test harness.
+//
+// The x/tools module is not vendored here — the repository is built and
+// linted offline — so multivet carries exactly the subset of the
+// framework it needs: analyzers receive parsed, type-checked syntax and
+// report position-anchored diagnostics; the drivers own loading,
+// suppression and exit codes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check of the suite.
+type Analyzer struct {
+	// Name is the check's short name; diagnostics are suppressed with
+	// `//lint:ignore multivet/<Name> reason`.
+	Name string
+	// Doc is the one-paragraph contract description shown by `multivet help`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // analyzer name, for suppression matching and display
+}
+
+// NewPass assembles a pass over pkg for a, appending findings to sink.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sink *[]Diagnostic) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, diags: sink}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// analyzers exempt tests: the determinism and taxonomy contracts bind
+// what the engine ships, while tests routinely build throwaway maps,
+// errors and fault plans.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ---------------------------------------------------------------------
+// Suppression directives.
+//
+// Grammar (one directive per comment line, line comments only):
+//
+//	//lint:ignore multivet/<name> <reason>
+//
+// The directive suppresses diagnostics of analyzer <name> reported on
+// the same line or on the line directly below it (i.e. write it as a
+// trailing comment or on its own line above the offending statement).
+// The reason is mandatory: an audited false positive must say why it is
+// one. Directives aimed at other tools (staticcheck codes etc.) are
+// ignored; directives naming an unknown multivet analyzer, missing a
+// reason, or suppressing nothing are themselves diagnosed by the
+// driver, so stale escapes cannot accumulate.
+
+// IgnoreDirective is one parsed //lint:ignore comment.
+type IgnoreDirective struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string // bare analyzer name ("maporder"), after the multivet/ prefix
+	Reason   string
+	Malformed string // non-empty description when the directive is unusable
+	Used      bool
+}
+
+const ignorePrefix = "lint:ignore "
+
+// CollectIgnores parses every multivet suppression directive in files.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) []*IgnoreDirective {
+	var out []*IgnoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments do not carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				name, ok := strings.CutPrefix(check, "multivet/")
+				if !ok {
+					continue // some other linter's directive
+				}
+				pos := fset.Position(c.Pos())
+				d := &IgnoreDirective{
+					Pos:      c.Pos(),
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+				}
+				if d.Reason == "" {
+					d.Malformed = "missing reason: want //lint:ignore multivet/" + name + " <reason>"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter drops diagnostics suppressed by a directive, marking the
+// directives it consumed. A directive on line L covers lines L and L+1
+// of the same file for its named analyzer.
+func Filter(fset *token.FileSet, diags []Diagnostic, ignores []*IgnoreDirective) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.Malformed != "" || ig.Analyzer != d.Analyzer || ig.File != pos.Filename {
+				continue
+			}
+			if pos.Line == ig.Line || pos.Line == ig.Line+1 {
+				ig.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// DirectiveDiagnostics converts malformed, unknown-analyzer and unused
+// directives into diagnostics of their own (analyzer "ignore"), so the
+// escape hatch stays audited. known maps valid analyzer names.
+func DirectiveDiagnostics(ignores []*IgnoreDirective, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ig := range ignores {
+		switch {
+		case ig.Malformed != "":
+			out = append(out, Diagnostic{Pos: ig.Pos, Analyzer: "ignore", Message: "malformed lint:ignore directive: " + ig.Malformed})
+		case !known[ig.Analyzer]:
+			out = append(out, Diagnostic{Pos: ig.Pos, Analyzer: "ignore", Message: "lint:ignore names unknown analyzer multivet/" + ig.Analyzer})
+		case !ig.Used:
+			out = append(out, Diagnostic{Pos: ig.Pos, Analyzer: "ignore", Message: "lint:ignore directive for multivet/" + ig.Analyzer + " suppresses no diagnostic; remove it"})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Shared type predicates.
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// IsErrorType reports whether t implements the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface)
+}
+
+// isNamed reports whether t (or the pointee of t) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsNamedType reports whether t (or its pointee) is pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool { return isNamed(t, pkgPath, name) }
+
+// ImplementsWriter reports whether t has a method Write([]byte) (int, error)
+// — the structural io.Writer shape, checked without referring to the io
+// package so fixture fakes and real types match alike.
+func ImplementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Write")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	sl, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().(*types.Basic)
+	if !ok || basic.Kind() != types.Byte && basic.Kind() != types.Uint8 {
+		return false
+	}
+	r0, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && r0.Kind() == types.Int && IsErrorType(sig.Results().At(1).Type())
+}
+
+// CalleeFunc resolves the called package-level function or method of a
+// call expression, or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsBuiltinCall reports whether call invokes the predeclared builtin
+// name (append, copy, …). Builtin identifiers resolve to *types.Builtin
+// objects, never to package-level functions.
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return true // unresolved in a partial package: assume predeclared
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// ConstString returns the constant string value of e, if e is a
+// compile-time string constant (literal or named const).
+func ConstString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directiveSrc = `package p
+
+//lint:ignore multivet/maporder audited: keys feed an order-insensitive set
+var a = 1
+
+//lint:ignore multivet/maporder
+var b = 2
+
+//lint:ignore staticcheck/SA1000 someone else's grammar
+var c = 3
+
+func f() int {
+	return a + b + c //lint:ignore multivet/ctxloop trailing form
+}
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, []*IgnoreDirective) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, CollectIgnores(fset, []*ast.File{f})
+}
+
+func TestCollectIgnores(t *testing.T) {
+	_, igs := parseDirectives(t)
+	if len(igs) != 3 {
+		t.Fatalf("got %d directives, want 3 (foreign-tool directive skipped): %+v", len(igs), igs)
+	}
+	if igs[0].Analyzer != "maporder" || igs[0].Reason == "" || igs[0].Malformed != "" {
+		t.Errorf("directive 0 misparsed: %+v", igs[0])
+	}
+	if igs[1].Malformed == "" || !strings.Contains(igs[1].Malformed, "missing reason") {
+		t.Errorf("reasonless directive not marked malformed: %+v", igs[1])
+	}
+	if igs[2].Analyzer != "ctxloop" || igs[2].Line != 13 {
+		t.Errorf("trailing directive misparsed: %+v", igs[2])
+	}
+}
+
+func TestFilterCoversLineAndNext(t *testing.T) {
+	fset, igs := parseDirectives(t)
+	mk := func(line int, an string) Diagnostic {
+		// Positions are synthesized inside p.go by line offset.
+		file := fset.File(igs[0].Pos)
+		return Diagnostic{Pos: file.LineStart(line), Analyzer: an, Message: "x"}
+	}
+	diags := []Diagnostic{
+		mk(3, "maporder"), // on the directive line: suppressed
+		mk(4, "maporder"), // line below: suppressed
+		mk(5, "maporder"), // two below: kept
+		mk(4, "ctxloop"),  // other analyzer: kept
+	}
+	kept := Filter(fset, diags, igs)
+	if len(kept) != 2 {
+		t.Fatalf("got %d surviving diagnostics, want 2: %+v", len(kept), kept)
+	}
+	if !igs[0].Used {
+		t.Error("suppressing directive not marked used")
+	}
+}
+
+func TestDirectiveDiagnostics(t *testing.T) {
+	_, igs := parseDirectives(t)
+	known := map[string]bool{"maporder": true} // ctxloop "unknown" here
+	out := DirectiveDiagnostics(igs, known)
+	var msgs []string
+	for _, d := range out {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "malformed lint:ignore") {
+		t.Errorf("missing malformed diagnostic in %q", joined)
+	}
+	if !strings.Contains(joined, "unknown analyzer multivet/ctxloop") {
+		t.Errorf("missing unknown-analyzer diagnostic in %q", joined)
+	}
+	if !strings.Contains(joined, "suppresses no diagnostic") {
+		t.Errorf("missing unused diagnostic in %q", joined)
+	}
+}
+
+func TestCountConstStringAndPredicates(t *testing.T) {
+	// Smoke-check the %w counter through the exported analyzer surface is
+	// covered by the sentinelwrap fixtures; here pin the directive prefix
+	// so the grammar in README and code cannot drift silently.
+	if ignorePrefix != "lint:ignore " {
+		t.Fatalf("directive prefix changed: %q", ignorePrefix)
+	}
+}

@@ -1,0 +1,234 @@
+// Package analysistest runs one analyzer over golden fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// comments — the same contract as golang.org/x/tools' analysistest,
+// rebuilt hermetically: fixture imports (including fakes of fmt, sort,
+// context and the multival internal packages) resolve from testdata/src
+// by a recursive source importer, so the tests need neither the network
+// nor compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"multivet/internal/analysis"
+	"multivet/internal/unitchecker"
+)
+
+// TestData locates the module's shared testdata directory by walking up
+// from the working directory (tests run in their package directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cand := filepath.Join(dir, "testdata", "src")
+		if fi, err := os.Stat(cand); err == nil && fi.IsDir() {
+			return filepath.Join(dir, "testdata")
+		}
+		dir = filepath.Dir(dir)
+	}
+	t.Fatal("analysistest: no testdata/src directory above the working directory")
+	return ""
+}
+
+// Run type-checks the fixture package at testdata/src/<pkgpath> (and its
+// fixture-local imports), runs a — through the same suppression pipeline
+// as the vet driver — and compares diagnostics with // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	RunSuite(t, pkgpath, a)
+}
+
+// RunSuite runs several analyzers together over one fixture package, for
+// fixtures whose want comments span analyzers (and for exercising the
+// driver's shared suppression pipeline exactly as `go vet` runs it).
+func RunSuite(t *testing.T, pkgpath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	root := TestData(t)
+	ld := &loader{root: filepath.Join(root, "src"), fset: token.NewFileSet(), pkgs: map[string]*loaded{}}
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	diags := unitchecker.RunAnalyzers(ld.fset, lp.files, lp.pkg, lp.info, analyzers)
+	checkWants(t, ld.fset, lp.files, diags)
+}
+
+// loaded is one type-checked fixture package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture import paths to testdata/src directories,
+// falling back to the builtin importer for "unsafe" only.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*loaded
+	loading []string // cycle detection
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	for _, p := range l.loading {
+		if p == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files", path)
+	}
+
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importerFunc(func(p string) (*types.Package, error) {
+		if p == "unsafe" {
+			return types.Unsafe, nil
+		}
+		dep, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		return dep.pkg, nil
+	})}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(p string) (*types.Package, error) { return f(p) }
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// checkWants matches diagnostics against `// want "rx" "rx"...` comments
+// on the expected line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos, m[1]) {
+					rx, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, text: q})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// splitQuoted parses the quoted regexps after // want.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: want arguments must be quoted strings: %q", pos, s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: bad want argument %q: %v", pos, s, err)
+		}
+		q, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s: bad want argument %q: %v", pos, prefix, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}

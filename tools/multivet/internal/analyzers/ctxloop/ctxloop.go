@@ -1,0 +1,172 @@
+// Package ctxloop pins the cancellation contract of the public API:
+// every exported long-running operation takes a context.Context and
+// observes it at round boundaries (generation worklists, refinement
+// rounds, solver sweeps, queue drains), so no unbounded loop inside such
+// an operation may spin without consulting the context.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"multivet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: `flag unbounded loops in exported ctx-taking functions that never observe ctx
+
+An exported function that accepts a context.Context promises callers a
+cancellable operation. A loop with no trip-count bound — "for { ... }",
+"for cond { ... }" with no init/post, or a channel range — that neither
+checks ctx.Err()/ctx.Done() (directly or via a channel saved from
+ctx.Done()) nor calls a function that receives the context keeps running
+after the caller gave up, holding queue slots and workers. Check
+engine.Canceled(ctx) at the loop head or pass ctx into the loop body's
+calls. Test files are exempt.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			doneChans := doneChannels(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if loop := unboundedLoop(pass, n); loop != nil {
+					if !observesCtx(pass, loop, doneChans) {
+						pass.Reportf(loop.Pos(),
+							"unbounded loop in exported %s does not observe ctx: check ctx.Err()/engine.Canceled(ctx) per iteration or pass ctx to a callee",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParams collects the objects of context.Context parameters.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !analysis.IsContext(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed ctx param: present but unobservable
+		}
+	}
+	return out
+}
+
+// doneChannels collects variables assigned from a ctx.Done() call
+// anywhere in the body, so `done := ctx.Done(); for { select { case
+// <-done: ... } }` is recognized.
+func doneChannels(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isCtxMethodCall(pass, rhs, "Done") {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// unboundedLoop returns n as a loop node when it has no syntactic trip
+// bound: `for {}`, `for cond {}` without init/post, or a range over a
+// channel.
+func unboundedLoop(pass *analysis.Pass, n ast.Node) ast.Stmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		if l.Cond == nil || (l.Init == nil && l.Post == nil) {
+			return l
+		}
+	case *ast.RangeStmt:
+		if t := pass.TypeOf(l.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// observesCtx reports whether the loop subtree consults a context:
+// ctx.Err()/ctx.Done() calls, receives from a saved Done channel, or any
+// call passing a context.Context argument (the callee inherits the
+// obligation).
+func observesCtx(pass *analysis.Pass, loop ast.Stmt, doneChans map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isCtxMethodCall(pass, n, "Err") || isCtxMethodCall(pass, n, "Done") {
+				found = true
+				return false
+			}
+			for _, arg := range n.Args {
+				if analysis.IsContext(pass.TypeOf(arg)) {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-done where done was saved from ctx.Done().
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && doneChans[pass.ObjectOf(id)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxMethodCall reports whether e is a call of <ctx>.<method>() on a
+// context.Context-typed receiver.
+func isCtxMethodCall(pass *analysis.Pass, e ast.Expr, method string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return analysis.IsContext(pass.TypeOf(sel.X))
+}

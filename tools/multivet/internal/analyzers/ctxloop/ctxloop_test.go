@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "ctxloop")
+}

@@ -1,0 +1,25 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/faultpoint"
+)
+
+// TestDeclaringPackage covers catalog drift in the package that owns the
+// Point… constants.
+func TestDeclaringPackage(t *testing.T) {
+	analysistest.Run(t, faultpoint.Analyzer, "faultpoint")
+}
+
+// TestMissingCatalog covers constants declared with no catalog slice.
+func TestMissingCatalog(t *testing.T) {
+	analysistest.Run(t, faultpoint.Analyzer, "faultpoint/nocatalog")
+}
+
+// TestConsumerPackage covers rules built outside the declaring package
+// against the imported catalog.
+func TestConsumerPackage(t *testing.T) {
+	analysistest.Run(t, faultpoint.Analyzer, "faultpointuse")
+}

@@ -1,0 +1,185 @@
+// Package frozenmut pins the immutability contract of the CSR cores.
+// lts.Frozen and sparse.Matrix accessors (Out/In/Succ, Row/RowTags) hand
+// out the backing arrays themselves — not copies — because the hot
+// algorithms scan them in place. The artifact cache content-addresses
+// models by hashing those arrays (lts.Frozen.Hash), so a single write
+// through a returned slice silently corrupts every cached artifact
+// derived from the model. Outside the owning packages, those slices are
+// read-only.
+package frozenmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"multivet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "frozenmut",
+	Doc: `flag writes to CSR backing slices returned by lts.Frozen / sparse.Matrix accessors
+
+Frozen.Out/In/Succ and Matrix.Row/RowTags return views of the frozen CSR
+arrays. Writing an element, copying into them, sorting them or appending
+to them mutates the immutable snapshot that Hash() keys the artifact
+cache by. Take a copy first: append([]int32(nil), view...). The owning
+packages (multival/internal/lts, multival/internal/sparse) are exempt —
+they build the arrays before publication.`,
+	Run: run,
+}
+
+// viewMethods maps owning package path -> type name -> accessor methods
+// returning backing slices.
+var viewMethods = map[string]map[string]map[string]bool{
+	"multival/internal/lts": {
+		"Frozen": {"Out": true, "In": true, "Succ": true},
+	},
+	"multival/internal/sparse": {
+		"Matrix": {"Row": true, "RowTags": true},
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if _, owner := viewMethods[pass.Pkg.Path()]; owner {
+		return nil // the owning package constructs the arrays
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc tracks, with simple top-down dataflow, which local variables
+// alias a CSR backing slice, then flags mutations through them.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	views := map[types.Object]string{} // object -> "Frozen.Out" provenance
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate view-ness: v := f.Out(s) (tuple), v2 := v,
+			// v2 := v[1:], and flag writes: v[i] = x.
+			recordViews(pass, views, n)
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if src, ok := viewExprSource(pass, views, ix.X); ok {
+						pass.Reportf(lhs.Pos(),
+							"write into CSR backing slice returned by %s; the frozen form is immutable and hash-addressed — copy it first (append([]T(nil), v...))", src)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkMutatingCall(pass, views, n)
+		}
+		return true
+	})
+}
+
+// viewCall recognizes a direct accessor call returning backing slices.
+func viewCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	for pkgPath, typesMap := range viewMethods {
+		for typeName, methods := range typesMap {
+			if methods[sel.Sel.Name] && analysis.IsNamedType(t, pkgPath, typeName) {
+				return typeName + "." + sel.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// viewExprSource resolves an expression to a known view's provenance.
+func viewExprSource(pass *analysis.Pass, views map[types.Object]string, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if src, ok := views[pass.ObjectOf(x)]; ok {
+			return src, true
+		}
+	case *ast.CallExpr:
+		return viewCall(pass, x)
+	case *ast.SliceExpr:
+		return viewExprSource(pass, views, x.X)
+	}
+	return "", false
+}
+
+// recordViews propagates provenance through assignments.
+func recordViews(pass *analysis.Pass, views map[types.Object]string, as *ast.AssignStmt) {
+	// Tuple form: labels, dsts := f.Out(s) — every LHS is a view.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if src, ok := viewCall(pass, call); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.ObjectOf(id); obj != nil {
+							views[obj] = src
+						}
+					}
+				}
+				return
+			}
+		}
+	}
+	// Element-wise: v2 := v, v2 := v[1:].
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			src, ok := viewExprSource(pass, views, rhs)
+			if !ok {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil {
+					views[obj] = src
+				}
+			}
+		}
+	}
+}
+
+// checkMutatingCall flags copy(view, …), append(view, …) and sort calls
+// over views.
+func checkMutatingCall(pass *analysis.Pass, views map[types.Object]string, call *ast.CallExpr) {
+	if analysis.IsBuiltinCall(pass.TypesInfo, call, "copy") {
+		if len(call.Args) == 2 {
+			if src, ok := viewExprSource(pass, views, call.Args[0]); ok {
+				pass.Reportf(call.Pos(), "copy into CSR backing slice returned by %s; the frozen form is immutable — copy it first", src)
+			}
+		}
+		return
+	}
+	if analysis.IsBuiltinCall(pass.TypesInfo, call, "append") {
+		if len(call.Args) > 0 {
+			if src, ok := viewExprSource(pass, views, call.Args[0]); ok {
+				pass.Reportf(call.Pos(), "append to CSR backing slice returned by %s may write in place; clone with append([]T(nil), v...) instead", src)
+			}
+		}
+		return
+	}
+	// sort.*/slices.Sort* over a view reorders the frozen arrays.
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return
+	}
+	for _, arg := range call.Args {
+		if src, ok := viewExprSource(pass, views, arg); ok {
+			pass.Reportf(call.Pos(), "sorting CSR backing slice returned by %s reorders the frozen arrays; sort a copy", src)
+			return
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package frozenmut_test
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/frozenmut"
+)
+
+func TestFrozenMut(t *testing.T) {
+	analysistest.Run(t, frozenmut.Analyzer, "frozenmut")
+}

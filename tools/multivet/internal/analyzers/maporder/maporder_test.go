@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "maporder")
+}

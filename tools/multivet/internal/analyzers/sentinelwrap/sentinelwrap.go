@@ -1,0 +1,112 @@
+// Package sentinelwrap pins the error-taxonomy contract: every failure
+// crossing the internal/engine sentinel boundary is classified with
+// errors.Is — the serve layer maps sentinels to HTTP statuses and the
+// retry policy splits transient from permanent on the same predicate.
+// That chain breaks silently the moment an error is re-formatted with
+// %v/%s instead of %w, or minted ad hoc inside a function where no
+// sentinel can ever match it.
+package sentinelwrap
+
+import (
+	"go/ast"
+
+	"multivet/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc: `flag fmt.Errorf calls that drop error identity and in-function errors.New
+
+An error argument formatted by fmt.Errorf without a matching %w verb
+loses its chain: errors.Is(err, sentinel) stops seeing through it, so
+serve's taxonomy misclassifies the failure and retry's transient
+predicate treats it as permanent. Likewise errors.New inside a function
+body creates an error no sentinel matches — declare a package-level
+sentinel (so callers can errors.Is it) or wrap an existing one. Package-
+level `+"`var Err… = errors.New(…)`"+` declarations are the sanctioned
+sentinel idiom and are exempt, as are test files.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		// Only walk function bodies: package-level var initializers are
+		// exactly where sentinels are declared.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf"):
+					checkErrorf(pass, call)
+				case analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "New"):
+					pass.Reportf(call.Pos(),
+						"in-function errors.New creates an error no sentinel matches; declare a package-level sentinel or wrap one with fmt.Errorf(\"...: %%w\", err)")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorf flags error-typed arguments beyond the format string's %w
+// capacity.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := analysis.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return // dynamic format: nothing to prove
+	}
+	wraps := countWrapVerbs(format)
+	var errArgs []ast.Expr
+	for _, arg := range call.Args[1:] {
+		if analysis.IsErrorType(pass.TypeOf(arg)) {
+			errArgs = append(errArgs, arg)
+		}
+	}
+	if len(errArgs) > wraps {
+		pass.Reportf(call.Pos(),
+			"fmt.Errorf formats an error without %%w (%d error argument(s), %d %%w verb(s)); errors.Is loses the chain — wrap with %%w",
+			len(errArgs), wraps)
+	}
+}
+
+// countWrapVerbs counts %w verbs, skipping %% escapes and verb
+// flags/width/precision (e.g. %+w, %-8w do not occur, but be tolerant).
+func countWrapVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue // literal %%
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == 'w' {
+				n++
+				break
+			}
+			// Stop at any other verb letter.
+			if (c >= 'a' && c <= 'z' && c != ' ') || (c >= 'A' && c <= 'Z') {
+				break
+			}
+			i++
+		}
+	}
+	return n
+}

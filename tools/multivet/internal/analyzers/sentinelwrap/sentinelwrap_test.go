@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/sentinelwrap"
+)
+
+func TestSentinelWrap(t *testing.T) {
+	analysistest.Run(t, sentinelwrap.Analyzer, "sentinelwrap")
+}

@@ -1,0 +1,188 @@
+// Package unitchecker implements the `go vet -vettool` driver protocol
+// on the standard library alone: cmd/go hands the tool one JSON config
+// per package (source files, the import map, and the export-data files
+// of every dependency it already compiled), the tool type-checks the
+// unit against that export data, runs the analyzer suite, writes a facts
+// stub, and reports diagnostics on stderr with a non-zero exit.
+//
+// The config schema mirrors cmd/go/internal/work.vetConfig, which is the
+// same contract golang.org/x/tools/go/analysis/unitchecker consumes.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+
+	"multivet/internal/analysis"
+)
+
+// Config is the JSON configuration cmd/go writes for each vetted unit.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run vets the unit described by cfgFile and returns the process exit
+// code: 0 clean, 1 diagnostics or typecheck failure, 2 config/usage
+// errors.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multivet: %v\n", err)
+		return 2
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg)
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "multivet: %v\n", err)
+			writeVetx(cfg)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	// Always leave a facts file behind so cmd/go can cache the action
+	// even when the unit had problems.
+	writeVetx(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "multivet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags := RunAnalyzers(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [multivet/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// RunAnalyzers executes the suite over one type-checked package and
+// returns the surviving diagnostics, suppression directives applied and
+// audited (shared by the unit driver and the fixture harness).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := analysis.NewPass(a, fset, files, pkg, info, &diags)
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{Pos: files[0].Pos(), Message: err.Error(), Analyzer: a.Name})
+		}
+	}
+	ignores := analysis.CollectIgnores(fset, files)
+	diags = analysis.Filter(fset, diags, ignores)
+	diags = append(diags, analysis.DirectiveDiagnostics(ignores, known)...)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("bad vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+var goVersionRx = regexp.MustCompile(`^go[0-9]+(\.[0-9]+)*$`)
+
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	// The gc importer reads each dependency's export data from the
+	// object files cmd/go already built; ImportMap resolves source-level
+	// import paths (vendoring, test variants) to canonical unit paths.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if goVersionRx.MatchString(cfg.GoVersion) {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeVetx records an (empty) facts file: multivet's analyzers are all
+// intra-package, but cmd/go requires the output to exist to cache and
+// chain vet actions.
+func writeVetx(cfg *Config) {
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, []byte("multivet.facts.v1\n"), 0o666)
+	}
+}

@@ -1,0 +1,102 @@
+// Command multivet is the project's static-analysis suite: five
+// go/analysis-style checkers that mechanically enforce the engine's
+// determinism, cancellation, immutability and error-taxonomy contracts.
+// It speaks the `go vet -vettool` driver protocol, so the whole module
+// tree is checked with
+//
+//	go build -o bin/multivet ./tools/multivet
+//	go vet -vettool=bin/multivet ./...
+//
+// (wrapped by scripts/lint.sh / `make lint`). Diagnostics are suppressed
+// per site with `//lint:ignore multivet/<analyzer> reason` on the line
+// of — or directly above — the finding; the driver audits the escapes
+// and flags unknown names, missing reasons and stale directives.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"multivet/internal/analysis"
+	"multivet/internal/analyzers/ctxloop"
+	"multivet/internal/analyzers/faultpoint"
+	"multivet/internal/analyzers/frozenmut"
+	"multivet/internal/analyzers/maporder"
+	"multivet/internal/analyzers/sentinelwrap"
+	"multivet/internal/unitchecker"
+)
+
+// suite is the registered analyzer set, ordered by name.
+var suite = []*analysis.Analyzer{
+	ctxloop.Analyzer,
+	faultpoint.Analyzer,
+	frozenmut.Analyzer,
+	maporder.Analyzer,
+	sentinelwrap.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// cmd/go queries the tool's analyzer flags; multivet has none.
+			fmt.Println("[]")
+			return
+		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
+			usage(os.Stdout)
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitchecker.Run(args[0], suite))
+		}
+	}
+	usage(os.Stderr)
+	os.Exit(2)
+}
+
+// printVersion implements the -V=full build-ID protocol cmd/go uses to
+// key its action cache: hash the binary so a rebuilt tool invalidates
+// cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("multivet version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `multivet: the multival contract checkers (a go vet tool)
+
+usage: go vet -vettool=/path/to/multivet ./...
+
+Analyzers:
+
+`)
+	sorted := append([]*analysis.Analyzer(nil), suite...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(w, `
+Suppress an audited false positive on its line (or the line above) with:
+
+  //lint:ignore multivet/<analyzer> <reason>
+
+Stale, reasonless or unknown-analyzer directives are themselves reported.
+`)
+}

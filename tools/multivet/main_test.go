@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"multivet/internal/analysistest"
+	"multivet/internal/analyzers/ctxloop"
+	"multivet/internal/analyzers/maporder"
+	"multivet/internal/analyzers/sentinelwrap"
+)
+
+// TestRefineFixture runs the determinism and cancellation analyzers
+// together over the stale-stamp-shaped refinement fixture — the bug
+// shape of the seed PR's post-review fix.
+func TestRefineFixture(t *testing.T) {
+	analysistest.RunSuite(t, "refine", maporder.Analyzer, ctxloop.Analyzer)
+}
+
+// TestIgnoreDirectives exercises the //lint:ignore pipeline exactly as
+// the vet driver runs it: valid directives suppress, unknown and unused
+// directives are diagnosed.
+func TestIgnoreDirectives(t *testing.T) {
+	analysistest.RunSuite(t, "ignore", sentinelwrap.Analyzer)
+}

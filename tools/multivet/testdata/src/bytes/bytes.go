@@ -1,0 +1,9 @@
+// Package bytes is a fixture fake: maporder checks the structural
+// io.Writer shape of the receiver.
+package bytes
+
+type Buffer struct{}
+
+func (b *Buffer) Write(p []byte) (int, error)       { return len(p), nil }
+func (b *Buffer) WriteString(s string) (int, error) { return len(s), nil }
+func (b *Buffer) String() string                    { return "" }

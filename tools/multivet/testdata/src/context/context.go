@@ -1,0 +1,18 @@
+// Package context is a fixture fake: ctxloop matches the named type
+// context.Context and its Err/Done methods.
+package context
+
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+	Value(key any) any
+}
+
+type emptyCtx struct{}
+
+func (emptyCtx) Done() <-chan struct{} { return nil }
+func (emptyCtx) Err() error            { return nil }
+func (emptyCtx) Value(key any) any     { return nil }
+
+func Background() Context { return emptyCtx{} }
+func TODO() Context       { return emptyCtx{} }

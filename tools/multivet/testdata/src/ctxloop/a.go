@@ -1,0 +1,126 @@
+// Golden fixture for multivet/ctxloop: unbounded loops in exported
+// ctx-taking operations.
+package ctxloop
+
+import (
+	"context"
+
+	"multival/internal/engine"
+)
+
+// BAD: worklist drain that never consults ctx.
+func Generate(ctx context.Context, work []int) int {
+	n := 0
+	for len(work) > 0 { // want `unbounded loop in exported Generate does not observe ctx`
+		work = work[1:]
+		n++
+	}
+	return n
+}
+
+// GOOD: checks ctx.Err at the round boundary.
+func GenerateCtx(ctx context.Context, work []int) (int, error) {
+	n := 0
+	for len(work) > 0 {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		work = work[1:]
+		n++
+	}
+	return n, nil
+}
+
+// GOOD: engine.Canceled receives the context.
+func Refine(ctx context.Context, rounds *int) error {
+	for *rounds > 0 {
+		if err := engine.Canceled(ctx); err != nil {
+			return err
+		}
+		*rounds--
+	}
+	return nil
+}
+
+// GOOD: select on ctx.Done.
+func Drain(ctx context.Context, ch chan int) int {
+	n := 0
+	for {
+		select {
+		case <-ch:
+			n++
+		case <-ctx.Done():
+			return n
+		}
+	}
+}
+
+// GOOD: receive from a channel saved off ctx.Done().
+func DrainSaved(ctx context.Context, ch chan int) int {
+	done := ctx.Done()
+	n := 0
+	for {
+		select {
+		case <-ch:
+			n++
+		case <-done:
+			return n
+		}
+	}
+}
+
+// BAD: infinite retry loop ignoring cancellation.
+func Solve(ctx context.Context, resid *float64) {
+	for *resid > 1e-9 { // want `unbounded loop in exported Solve does not observe ctx`
+		*resid /= 2
+	}
+}
+
+// GOOD: a bounded counting loop is not flagged.
+func Sweep(ctx context.Context, xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// GOOD: the loop passes ctx to a callee, which inherits the obligation.
+func Pump(ctx context.Context, work []int) error {
+	for len(work) > 0 {
+		if err := step(ctx, work[0]); err != nil {
+			return err
+		}
+		work = work[1:]
+	}
+	return nil
+}
+
+func step(ctx context.Context, item int) error { return ctx.Err() }
+
+// unexported operations are outside the exported-API contract.
+func drainForever(ctx context.Context, ch chan int) {
+	for range ch {
+	}
+}
+
+// BAD: channel range is unbounded and never observes ctx.
+func Consume(ctx context.Context, ch chan int) int {
+	n := 0
+	for range ch { // want `unbounded loop in exported Consume does not observe ctx`
+		n++
+	}
+	return n
+}
+
+// GOOD: no ctx parameter means no cancellation promise to break.
+func Spin(ch chan int) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+// Package errors is a fixture fake.
+package errors
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func New(text string) error              { return &errorString{text} }
+func Is(err, target error) bool          { return false }
+func As(err error, target any) bool      { return false }

@@ -1,0 +1,40 @@
+// Golden fixture for multivet/faultpoint: a point-declaring package with
+// every flavor of catalog drift.
+package faultpoint
+
+import "multival/internal/fault"
+
+const (
+	// Cataloged and armed: clean.
+	PointCacheBuild = "cache.build"
+	// Armed but missing from the catalog slice.
+	PointQueueRun = "queue.run" // want `missing from the faultPoints catalog slice`
+	// Cataloged but never compiled into a Hit seam.
+	PointExecute = "execute" // want `never compiled into a fault.Hit seam`
+)
+
+var faultPoints = []string{
+	PointCacheBuild,
+	PointExecute,
+	"sweep.point", // want `matches no declared Point… constant`
+}
+
+func Build() error {
+	if err := fault.Hit(PointCacheBuild); err != nil {
+		return err
+	}
+	if err := fault.Hit(PointQueueRun); err != nil {
+		return err
+	}
+	return fault.Hit("adhoc.seam") // want `raw string literal`
+}
+
+// BAD: a rule naming a point no constant declares arms nothing.
+func BadRule() fault.Rule {
+	return fault.Rule{Point: "no.such.point", Prob: 1} // want `unregistered fault point`
+}
+
+// GOOD: rules built from cataloged constants.
+func GoodRule() fault.Rule {
+	return fault.Rule{Point: PointCacheBuild, Prob: 0.5}
+}

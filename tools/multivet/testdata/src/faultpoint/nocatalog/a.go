@@ -1,0 +1,9 @@
+// Package nocatalog declares fault points but forgot the catalog slice,
+// so metrics and the runtime registry cannot see them.
+package nocatalog
+
+import "multival/internal/fault"
+
+const PointOnly = "only.seam" // want `no faultPoints catalog slice`
+
+func Arm() error { return fault.Hit(PointOnly) }

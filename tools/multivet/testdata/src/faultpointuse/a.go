@@ -1,0 +1,27 @@
+// Golden fixture for multivet/faultpoint as seen from a consumer
+// package: rules must name constants cataloged by an imported package.
+package faultpointuse
+
+import (
+	"faultpoint"
+
+	"multival/internal/fault"
+)
+
+// GOOD + BAD: plans mixing cataloged constants and typos.
+func Plan() []fault.Rule {
+	return []fault.Rule{
+		{Point: faultpoint.PointCacheBuild, Prob: 1},
+		{Point: "typo.seam", Prob: 1}, // want `unregistered fault point`
+	}
+}
+
+// GOOD: arming through the imported constant.
+func Use() error {
+	return fault.Hit(faultpoint.PointQueueRun)
+}
+
+// BAD: a raw literal bypasses the catalog entirely.
+func Raw() error {
+	return fault.Hit("raw.seam") // want `raw string literal`
+}

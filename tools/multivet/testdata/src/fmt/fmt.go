@@ -1,0 +1,13 @@
+// Package fmt is a fixture fake: analyzers match calls by package path
+// and name, so only the signatures matter.
+package fmt
+
+type writer interface {
+	Write(p []byte) (int, error)
+}
+
+func Errorf(format string, a ...any) error          { return nil }
+func Sprintf(format string, a ...any) string        { return "" }
+func Fprintf(w writer, format string, a ...any) (int, error) { return 0, nil }
+func Fprintln(w writer, a ...any) (int, error)      { return 0, nil }
+func Println(a ...any) (int, error)                 { return 0, nil }

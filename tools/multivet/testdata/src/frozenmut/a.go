@@ -1,0 +1,71 @@
+// Golden fixture for multivet/frozenmut: writes through CSR backing
+// slices returned by the Frozen / Matrix accessors.
+package frozenmut
+
+import (
+	"sort"
+
+	"multival/internal/lts"
+	"multival/internal/sparse"
+)
+
+// BAD: writing an element of an accessor view.
+func Clobber(f *lts.Frozen) {
+	labels, dsts := f.Out(0)
+	_ = labels
+	dsts[0] = 7 // want `write into CSR backing slice returned by Frozen.Out`
+}
+
+// BAD: mutating the successor view.
+func ClobberSucc(f *lts.Frozen) {
+	succ := f.Succ(0, 1)
+	succ[0] = -1 // want `write into CSR backing slice returned by Frozen.Succ`
+}
+
+// BAD: writing through a reslice alias.
+func ClobberAlias(f *lts.Frozen) {
+	_, dsts := f.In(3)
+	tail := dsts[1:]
+	tail[0] = 9 // want `write into CSR backing slice returned by Frozen.In`
+}
+
+// BAD: sorting a view reorders the frozen arrays.
+func SortView(m *sparse.Matrix) {
+	cols, _ := m.Row(0)
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] }) // want `sorting CSR backing slice returned by Matrix.Row`
+}
+
+// BAD: copying into a view.
+func CopyInto(m *sparse.Matrix) {
+	tags := m.RowTags(2)
+	copy(tags, []int32{1, 2, 3}) // want `copy into CSR backing slice returned by Matrix.RowTags`
+}
+
+// BAD: append may write the backing array in place.
+func AppendView(f *lts.Frozen) []int32 {
+	succ := f.Succ(1, 0)
+	return append(succ, 5) // want `append to CSR backing slice returned by Frozen.Succ`
+}
+
+// GOOD: reading is the whole point.
+func Degree(f *lts.Frozen) int {
+	labels, _ := f.Out(0)
+	return len(labels)
+}
+
+// GOOD: cloning first, then mutating the copy.
+func SortedCopy(m *sparse.Matrix) []int32 {
+	cols, _ := m.Row(0)
+	own := append([]int32(nil), cols...)
+	sort.Slice(own, func(i, j int) bool { return own[i] < own[j] })
+	own[0] = 0
+	return own
+}
+
+// GOOD: copy FROM a view into owned memory.
+func Snapshot(f *lts.Frozen) []int32 {
+	succ := f.Succ(0, 0)
+	out := make([]int32, len(succ))
+	copy(out, succ)
+	return out
+}

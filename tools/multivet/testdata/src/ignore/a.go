@@ -1,0 +1,31 @@
+// Golden fixture for the //lint:ignore suppression grammar, run with
+// the sentinelwrap analyzer: valid directives silence an audited
+// finding; unknown and unused directives are themselves diagnosed.
+package ignore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GOOD: directive on its own line covers the statement below it.
+func Opaque() error {
+	//lint:ignore multivet/sentinelwrap probe errors are intentionally opaque to callers
+	return errors.New("probe failed")
+}
+
+// GOOD: trailing directive covers its own line.
+func Trailing(err error) error {
+	return fmt.Errorf("render: %v", err) //lint:ignore multivet/sentinelwrap message-only rendering, identity dropped by design
+}
+
+// BAD: an unsuppressed violation still reports.
+func Naked() error {
+	return errors.New("naked") // want `in-function errors.New`
+}
+
+//lint:ignore multivet/bogus there is no such analyzer // want `unknown analyzer multivet/bogus`
+var _ = 0
+
+//lint:ignore multivet/sentinelwrap nothing on this line violates anything // want `suppresses no diagnostic`
+var _ = 1

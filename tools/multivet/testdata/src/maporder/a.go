@@ -1,0 +1,121 @@
+// Golden fixture for multivet/maporder: map iterations feeding
+// order-sensitive sinks, and the sanctioned collect-then-sort idioms.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"multival/internal/engine"
+)
+
+type hasher struct{}
+
+func (h *hasher) Write(p []byte) (int, error) { return len(p), nil }
+func (h *hasher) Sum(b []byte) []byte         { return b }
+
+// BAD: appends map keys and never sorts the slice.
+func KeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys" without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GOOD: the canonical collect-then-sort idiom.
+func KeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GOOD: sort.Slice also blesses the loop.
+func PairsSorted(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BAD: hashing in map order breaks content addressing.
+func HashUnsorted(m map[string]int, h *hasher) {
+	for k := range m { // want `map iteration calls h.Write on a hasher/writer`
+		h.Write([]byte(k))
+	}
+}
+
+// GOOD: per-iteration buffer is deterministic for its own entry.
+func PerEntryBuffer(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b bytes.Buffer
+		b.WriteString(v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// BAD: serializing into an outer buffer in map order.
+func EncodeUnsorted(m map[string]int, b *bytes.Buffer) {
+	for k := range m { // want `map iteration calls b.WriteString on a hasher/writer`
+		b.WriteString(k)
+	}
+}
+
+// BAD: fmt.Fprintf into an outer stream in map order (the Prometheus
+// exposition shape).
+func ExpositionUnsorted(m map[string]int64, b *bytes.Buffer) {
+	for name, v := range m { // want `map iteration writes to b via fmt.Fprintf`
+		fmt.Fprintf(b, "%s %d\n", name, v)
+	}
+}
+
+// GOOD: pure reduction — order-insensitive.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BAD: emitting Progress per map entry.
+func ProgressPerEntry(m map[string]int, progress engine.ProgressFunc) {
+	for k := range m { // want `map iteration emits Progress`
+		progress(engine.Progress{Stage: k})
+	}
+}
+
+// BAD: Report method form.
+func ReportPerEntry(m map[string]int, progress engine.ProgressFunc) {
+	for range m { // want `map iteration emits Progress`
+		progress.Report(engine.Progress{Stage: "lump"})
+	}
+}
+
+// GOOD: writing into another map is order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// GOOD: loop-local slice feeding a per-key result.
+func LocalAccumulate(m map[string][]int) map[string]int {
+	out := map[string]int{}
+	for k, vs := range m {
+		var acc []int
+		acc = append(acc, vs...)
+		out[k] = len(acc)
+	}
+	return out
+}

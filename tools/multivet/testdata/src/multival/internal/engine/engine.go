@@ -1,0 +1,31 @@
+// Package engine is a fixture fake of multival/internal/engine: the
+// analyzers match Progress/ProgressFunc and Canceled by path and name.
+package engine
+
+import "context"
+
+type Progress struct {
+	Stage  string
+	States int
+	Round  int
+}
+
+type ProgressFunc func(Progress)
+
+func (f ProgressFunc) Report(p Progress) {
+	if f != nil {
+		f(p)
+	}
+}
+
+func Canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

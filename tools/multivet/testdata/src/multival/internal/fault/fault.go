@@ -1,0 +1,13 @@
+// Package fault is a fixture fake of multival/internal/fault.
+package fault
+
+type Rule struct {
+	Point string
+	Prob  float64
+	After int
+	Times int
+}
+
+func Hit(point string) error { return nil }
+
+func RegisterPoint(name string) string { return name }

@@ -1,0 +1,28 @@
+// Package lts is a fixture fake of multival/internal/lts: frozenmut
+// matches the Frozen accessors by receiver type and method name.
+package lts
+
+type State int32
+
+type Frozen struct {
+	outOff []int32
+	outLab []int32
+	outDst []int32
+	inOff  []int32
+	inLab  []int32
+	inSrc  []int32
+}
+
+func (f *Frozen) Out(s State) (labels, dsts []int32) {
+	return f.outLab, f.outDst
+}
+
+func (f *Frozen) In(s State) (labels, srcs []int32) {
+	return f.inLab, f.inSrc
+}
+
+func (f *Frozen) Succ(s State, label int) []int32 {
+	return f.outDst
+}
+
+func (f *Frozen) NumStates() int { return len(f.outOff) - 1 }

@@ -1,0 +1,17 @@
+// Package sparse is a fixture fake of multival/internal/sparse.
+package sparse
+
+type Matrix struct {
+	rowOff []int32
+	col    []int32
+	val    []float64
+	tag    []int32
+}
+
+func (m *Matrix) Row(i int) (cols []int32, vals []float64) {
+	return m.col, m.val
+}
+
+func (m *Matrix) RowTags(i int) []int32 { return m.tag }
+
+func (m *Matrix) N() int { return len(m.rowOff) - 1 }

@@ -1,0 +1,83 @@
+// Package refine reproduces the shape of the seed PR's stale-stamp bug
+// round: a partition-refinement driver whose block signatures are hashed
+// in map order and whose worklist drain ignores cancellation. The
+// post-review fix round-qualified the visit stamps; maporder and ctxloop
+// pin the two remaining hazards of that shape.
+package refine
+
+import (
+	"context"
+	"sort"
+
+	"multival/internal/engine"
+	"multival/internal/lts"
+)
+
+type partition struct {
+	sig   map[lts.State]uint64
+	stamp []int
+	round int
+}
+
+type hasher struct{ sum uint64 }
+
+func (h *hasher) Write(p []byte) (int, error) {
+	for _, b := range p {
+		h.sum = h.sum*131 + uint64(b)
+	}
+	return len(p), nil
+}
+
+// BAD (maporder): hashing block signatures in map iteration order makes
+// the partition key differ run to run.
+func (p *partition) Key(h *hasher) uint64 {
+	for _, sig := range p.sig { // want `map iteration calls h.Write on a hasher/writer`
+		h.Write([]byte{byte(sig)})
+	}
+	return h.sum
+}
+
+// GOOD: collect the states, sort, then hash deterministically.
+func (p *partition) KeySorted(h *hasher) uint64 {
+	states := make([]int, 0, len(p.sig))
+	for s := range p.sig {
+		states = append(states, int(s))
+	}
+	sort.Ints(states)
+	for _, s := range states {
+		h.Write([]byte{byte(p.sig[lts.State(s)])})
+	}
+	return h.sum
+}
+
+// BAD (ctxloop): the refinement driver drains its worklist without ever
+// observing ctx — the stamps are round-qualified, but the loop still
+// runs to completion after the caller gave up.
+func Refine(ctx context.Context, p *partition, work []lts.State) int {
+	rounds := 0
+	for len(work) > 0 { // want `unbounded loop in exported Refine does not observe ctx`
+		p.round++
+		for i := range p.stamp {
+			if p.stamp[i] != p.round {
+				p.stamp[i] = p.round
+			}
+		}
+		work = work[1:]
+		rounds++
+	}
+	return rounds
+}
+
+// GOOD: the same drain with a cancellation check at the round boundary.
+func RefineCtx(ctx context.Context, p *partition, work []lts.State) (int, error) {
+	rounds := 0
+	for len(work) > 0 {
+		if err := engine.Canceled(ctx); err != nil {
+			return rounds, err
+		}
+		p.round++
+		work = work[1:]
+		rounds++
+	}
+	return rounds, nil
+}

@@ -1,0 +1,58 @@
+// Golden fixture for multivet/sentinelwrap: error identity across the
+// sentinel boundary.
+package sentinelwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GOOD: package-level sentinel declarations are the sanctioned idiom.
+var (
+	ErrStateBound = errors.New("sentinel: state bound exceeded")
+	errInternal   = errors.New("sentinel: internal")
+)
+
+func Load() error { return ErrStateBound }
+
+// GOOD: %w preserves the chain.
+func Wrap(err error) error {
+	return fmt.Errorf("load model: %w", err)
+}
+
+// BAD: %v flattens the error to text; errors.Is stops matching.
+func Drop(err error) error {
+	return fmt.Errorf("load model: %v", err) // want `formats an error without %w`
+}
+
+// BAD: two error arguments, only one %w.
+func DropSecond(e1, e2 error) error {
+	return fmt.Errorf("combine: %w / %v", e1, e2) // want `2 error argument`
+}
+
+// GOOD: both wrapped (multi-%w is valid since go1.20).
+func WrapBoth(e1, e2 error) error {
+	return fmt.Errorf("combine: %w / %w", e1, e2)
+}
+
+// GOOD: %% is a literal percent, not a verb.
+func Percent(err error) error {
+	return fmt.Errorf("100%% failed: %w", err)
+}
+
+// GOOD: no error arguments at all.
+func Count(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// GOOD: dynamic format string — nothing to prove statically.
+func Dynamic(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// BAD: an in-function errors.New matches no sentinel.
+func Mint() error {
+	return errors.New("ad hoc failure") // want `in-function errors.New`
+}
+
+func useInternal() error { return errInternal }

@@ -1,0 +1,11 @@
+// Test files are exempt: throwaway errors are fine in tests.
+package sentinelwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+func helperErr() error { return errors.New("test-only") }
+
+func helperWrap(err error) error { return fmt.Errorf("in test: %v", err) }

@@ -1,0 +1,14 @@
+// Package sort is a fixture fake.
+package sort
+
+type Interface interface {
+	Len() int
+	Less(i, j int) bool
+	Swap(i, j int)
+}
+
+func Strings(x []string)                       {}
+func Ints(x []int)                             {}
+func Sort(data Interface)                      {}
+func Slice(x any, less func(i, j int) bool)    {}
+func SliceStable(x any, less func(i, j int) bool) {}
